@@ -1,0 +1,194 @@
+//! The FESTIVE baseline (paper's ref \[2\], as described in Section V-A).
+//!
+//! "A throughput-based bitrate adaptation approach, which uses the harmonic
+//! mean of the last 20 throughput measurements to estimate the available
+//! bandwidth, and then selects the highest available bitrate that is just
+//! below the estimated bandwidth."
+
+use ecas_net::{BandwidthEstimator, HarmonicMean};
+use ecas_sim::controller::{BitrateController, DecisionContext};
+use ecas_types::ladder::LevelIndex;
+
+/// The FESTIVE controller.
+///
+/// Before any throughput history exists the controller starts from the
+/// lowest level (a cautious cold start, as real players do).
+///
+/// # Examples
+///
+/// ```
+/// use ecas_abr::Festive;
+/// use ecas_sim::Simulator;
+/// use ecas_trace::videos::EvalTraceSpec;
+/// use ecas_types::ladder::BitrateLadder;
+///
+/// let session = EvalTraceSpec::table_v()[1].generate();
+/// let sim = Simulator::paper(BitrateLadder::evaluation());
+/// let result = sim.run(&session, &mut Festive::new());
+/// assert!(result.mean_qoe.value() > 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Festive {
+    estimator: HarmonicMean,
+    history_len: usize,
+}
+
+impl Festive {
+    /// Creates the paper's configuration (harmonic mean of the last 20).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_window(20)
+    }
+
+    /// Creates a FESTIVE variant with a custom estimator window (used by
+    /// the window-size ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn with_window(window: usize) -> Self {
+        Self {
+            estimator: HarmonicMean::new(window),
+            history_len: 0,
+        }
+    }
+}
+
+impl Default for Festive {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitrateController for Festive {
+    fn select(&mut self, ctx: &DecisionContext<'_>) -> LevelIndex {
+        // Feed any new observations since the last decision.
+        if ctx.history.len() < self.history_len {
+            // The history shrank: a new session started without reset();
+            // recover by starting the estimator over.
+            self.reset();
+        }
+        for obs in &ctx.history[self.history_len..] {
+            self.estimator.observe(obs.throughput);
+        }
+        self.history_len = ctx.history.len();
+
+        match self.estimator.estimate() {
+            None => ctx.ladder.lowest_level(),
+            Some(bw) => ctx.ladder.highest_at_most_or_lowest(bw),
+        }
+    }
+
+    fn name(&self) -> String {
+        "festive".to_string()
+    }
+
+    fn reset(&mut self) {
+        self.estimator.reset();
+        self.history_len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecas_sim::controller::ThroughputObservation;
+    use ecas_types::ids::SegmentIndex;
+    use ecas_types::ladder::BitrateLadder;
+    use ecas_types::units::{Dbm, Mbps, Seconds};
+
+    fn ctx<'a>(
+        ladder: &'a BitrateLadder,
+        history: &'a [ThroughputObservation],
+    ) -> DecisionContext<'a> {
+        DecisionContext {
+            segment: SegmentIndex::new(history.len()),
+            total_segments: 100,
+            now: Seconds::zero(),
+            buffer_level: Seconds::new(10.0),
+            prev_level: None,
+            ladder,
+            segment_duration: Seconds::new(2.0),
+            buffer_threshold: Seconds::new(30.0),
+            playback_started: true,
+            history,
+            vibration: None,
+            signal: Dbm::new(-90.0),
+        }
+    }
+
+    fn obs(values: &[f64]) -> Vec<ThroughputObservation> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ThroughputObservation {
+                segment: SegmentIndex::new(i),
+                throughput: Mbps::new(v),
+                completed_at: Seconds::new(i as f64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cold_start_is_lowest() {
+        let ladder = BitrateLadder::evaluation();
+        let mut f = Festive::new();
+        assert_eq!(f.select(&ctx(&ladder, &[])), ladder.lowest_level());
+    }
+
+    #[test]
+    fn picks_highest_below_estimate() {
+        let ladder = BitrateLadder::evaluation();
+        let mut f = Festive::new();
+        let history = obs(&[4.0, 4.0, 4.0]);
+        let level = f.select(&ctx(&ladder, &history));
+        assert_eq!(ladder.bitrate(level), Mbps::new(3.6));
+    }
+
+    #[test]
+    fn spike_does_not_fool_harmonic_mean() {
+        let ladder = BitrateLadder::evaluation();
+        let mut f = Festive::new();
+        let history = obs(&[2.0, 2.0, 2.0, 2.0, 100.0]);
+        let level = f.select(&ctx(&ladder, &history));
+        // Harmonic mean of {2,2,2,2,100} = 2.48 -> picks 2.3.
+        assert_eq!(ladder.bitrate(level), Mbps::new(2.3));
+    }
+
+    #[test]
+    fn incremental_feeding_matches_batch() {
+        let ladder = BitrateLadder::evaluation();
+        let values = [5.0, 7.0, 3.0, 8.0, 6.0];
+        // Incremental: select after each new observation.
+        let mut inc = Festive::new();
+        let mut last_inc = None;
+        for k in 1..=values.len() {
+            let history = obs(&values[..k]);
+            last_inc = Some(inc.select(&ctx(&ladder, &history)));
+        }
+        // Batch: a fresh controller seeing the whole history at once.
+        let mut batch = Festive::new();
+        let history = obs(&values);
+        let batch_level = batch.select(&ctx(&ladder, &history));
+        assert_eq!(last_inc.unwrap(), batch_level);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let ladder = BitrateLadder::evaluation();
+        let mut f = Festive::new();
+        let history = obs(&[30.0, 30.0]);
+        let _ = f.select(&ctx(&ladder, &history));
+        f.reset();
+        assert_eq!(f.select(&ctx(&ladder, &[])), ladder.lowest_level());
+    }
+
+    #[test]
+    fn below_ladder_floor_falls_back_to_lowest() {
+        let ladder = BitrateLadder::evaluation();
+        let mut f = Festive::new();
+        let history = obs(&[0.05, 0.05]);
+        assert_eq!(f.select(&ctx(&ladder, &history)), ladder.lowest_level());
+    }
+}

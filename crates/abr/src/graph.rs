@@ -1,0 +1,305 @@
+//! Shortest-path machinery for the optimal algorithm.
+//!
+//! The paper maps bitrate selection to a shortest path on a layered graph
+//! (its Fig. 4) and solves it with Dijkstra's algorithm. Dijkstra requires
+//! non-negative edge weights, while the Eq. (11) edge weight
+//! `η·E/E_max − (1−η)·Q/Q_max` can be negative; since every `s → e` path
+//! in the layered graph has exactly the same number of edges, adding a
+//! constant to every weight shifts all path costs equally and preserves
+//! the argmin — the caller applies such a shift. As an independent check
+//! this module also provides a topological-order dynamic program
+//! ([`Graph::dag_shortest_path`]) that handles negative weights natively;
+//! the optimal planner cross-checks the two.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A directed graph with `f64` edge weights, stored as adjacency lists.
+///
+/// # Examples
+///
+/// ```
+/// use ecas_abr::graph::Graph;
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(0, 2, 5.0);
+/// g.add_edge(1, 2, 1.0);
+/// g.add_edge(2, 3, 1.0);
+/// let (cost, path) = g.dijkstra_path(0, 3).unwrap();
+/// assert_eq!(path, vec![0, 1, 2, 3]);
+/// assert!((cost - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Adds a directed edge `from → to` with `weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `weight` is NaN.
+    pub fn add_edge(&mut self, from: usize, to: usize, weight: f64) {
+        assert!(from < self.adj.len(), "edge source {from} out of range");
+        assert!(to < self.adj.len(), "edge target {to} out of range");
+        assert!(!weight.is_nan(), "edge weight must not be NaN");
+        self.adj[from].push((to, weight));
+    }
+
+    /// Dijkstra's algorithm from `src`: returns per-node distance and
+    /// predecessor arrays. Unreachable nodes have infinite distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range or any traversed edge has negative
+    /// weight (Dijkstra's precondition).
+    #[must_use]
+    pub fn dijkstra(&self, src: usize) -> (Vec<f64>, Vec<Option<usize>>) {
+        assert!(src < self.adj.len(), "source {src} out of range");
+        let n = self.adj.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(Reverse((OrdF64(0.0), src)));
+        while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, w) in &self.adj[u] {
+                assert!(w >= 0.0, "Dijkstra requires non-negative weights, got {w}");
+                let nd = d + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = Some(u);
+                    heap.push(Reverse((OrdF64(nd), v)));
+                }
+            }
+        }
+        (dist, prev)
+    }
+
+    /// Shortest `src → dst` path via Dijkstra: `(cost, nodes)`, or `None`
+    /// when unreachable.
+    #[must_use]
+    pub fn dijkstra_path(&self, src: usize, dst: usize) -> Option<(f64, Vec<usize>)> {
+        let (dist, prev) = self.dijkstra(src);
+        reconstruct(&dist, &prev, src, dst)
+    }
+
+    /// Single-source shortest paths on a DAG whose nodes are already in
+    /// topological order (node index increasing along every edge) — the
+    /// layered graph of Fig. 4 has this property by construction. Handles
+    /// negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some edge goes from a higher-numbered to a lower-numbered
+    /// node (i.e. the node numbering is not topological).
+    #[must_use]
+    pub fn dag_shortest_path(&self, src: usize, dst: usize) -> Option<(f64, Vec<usize>)> {
+        let n = self.adj.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        dist[src] = 0.0;
+        for u in src..n {
+            if dist[u].is_infinite() {
+                continue;
+            }
+            for &(v, w) in &self.adj[u] {
+                assert!(v > u, "node order is not topological: edge {u} -> {v}");
+                let nd = dist[u] + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = Some(u);
+                }
+            }
+        }
+        reconstruct(&dist, &prev, src, dst)
+    }
+}
+
+fn reconstruct(
+    dist: &[f64],
+    prev: &[Option<usize>],
+    src: usize,
+    dst: usize,
+) -> Option<(f64, Vec<usize>)> {
+    if dist[dst].is_infinite() {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur]?;
+        path.push(cur);
+    }
+    path.reverse();
+    Some((dist[dst], path))
+}
+
+/// Total-order wrapper so `f64` distances can live in a `BinaryHeap`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> {1, 2} -> 3 with asymmetric costs.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 2, 2.0);
+        g.add_edge(1, 3, 5.0);
+        g.add_edge(2, 3, 1.0);
+        g
+    }
+
+    #[test]
+    fn dijkstra_picks_cheaper_branch() {
+        let (cost, path) = diamond().dijkstra_path(0, 3).unwrap();
+        assert_eq!(path, vec![0, 2, 3]);
+        assert!((cost - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dag_dp_agrees_with_dijkstra_on_nonnegative() {
+        let g = diamond();
+        let a = g.dijkstra_path(0, 3).unwrap();
+        let b = g.dag_shortest_path(0, 3).unwrap();
+        assert_eq!(a.1, b.1);
+        assert!((a.0 - b.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dag_dp_handles_negative_weights() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 2, -0.5);
+        g.add_edge(1, 3, -2.0);
+        g.add_edge(2, 3, 0.1);
+        let (cost, path) = g.dag_shortest_path(0, 3).unwrap();
+        assert_eq!(path, vec![0, 1, 3]);
+        assert!((cost + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        assert!(g.dijkstra_path(0, 2).is_none());
+        assert!(g.dag_shortest_path(0, 2).is_none());
+    }
+
+    #[test]
+    fn shifting_all_edges_preserves_argmin_path() {
+        // Every 0 -> 3 path in the diamond has exactly 2 edges, so adding
+        // a constant to every edge cannot change the argmin — the property
+        // the optimal planner relies on.
+        let mut shifted = Graph::new(4);
+        shifted.add_edge(0, 1, 1.0 + 10.0);
+        shifted.add_edge(0, 2, 2.0 + 10.0);
+        shifted.add_edge(1, 3, 5.0 + 10.0);
+        shifted.add_edge(2, 3, 1.0 + 10.0);
+        let (_, base_path) = diamond().dijkstra_path(0, 3).unwrap();
+        let (_, shifted_path) = shifted.dijkstra_path(0, 3).unwrap();
+        assert_eq!(base_path, shifted_path);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn dijkstra_rejects_negative_edges() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, -1.0);
+        let _ = g.dijkstra(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not topological")]
+    fn dag_dp_rejects_backward_edges() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(2, 1, 1.0);
+        let _ = g.dag_shortest_path(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_validates_endpoints() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    fn larger_random_lattice_dijkstra_equals_dp() {
+        // A layered lattice like Fig. 4: 20 layers x 5 levels.
+        let layers = 20;
+        let levels = 5;
+        let node = |layer: usize, lvl: usize| 1 + layer * levels + lvl;
+        let n = 2 + layers * levels;
+        let sink = n - 1;
+        let mut g = Graph::new(n);
+        // Deterministic pseudo-random weights.
+        let w = |a: usize, b: usize| ((a * 2654435761 + b * 40503) % 1000) as f64 / 100.0;
+        for lvl in 0..levels {
+            g.add_edge(0, node(0, lvl), w(0, lvl));
+        }
+        for layer in 0..layers - 1 {
+            for a in 0..levels {
+                for b in 0..levels {
+                    g.add_edge(node(layer, a), node(layer + 1, b), w(node(layer, a), b));
+                }
+            }
+        }
+        for lvl in 0..levels {
+            g.add_edge(node(layers - 1, lvl), sink, 0.0);
+        }
+        let (c1, p1) = g.dijkstra_path(0, sink).unwrap();
+        let (c2, p2) = g.dag_shortest_path(0, sink).unwrap();
+        assert!((c1 - c2).abs() < 1e-9);
+        assert_eq!(p1, p2);
+    }
+}

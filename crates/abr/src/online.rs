@@ -1,0 +1,445 @@
+//! The paper's online bitrate selection algorithm (Algorithm 1).
+//!
+//! At each segment the controller:
+//!
+//! 1. estimates the bandwidth with the harmonic mean of past segment
+//!    throughputs (Section IV-B);
+//! 2. reads the vibration level estimated over the trailing `0.2·W`
+//!    seconds of accelerometer data (supplied by the simulator through the
+//!    decision context);
+//! 3. computes the *reference bitrate* `r_ref = argmin_j` of the Eq. (11)
+//!    per-task cost, using the task-energy model (Eqs. 8–10) for `E` and
+//!    the QoE model (Eq. 1) for `Q`;
+//! 4. smooths the decision (lines 5–9 of Algorithm 1):
+//!    * if `r_ref` is **above** the previous level, step up exactly one
+//!      level — repeated high references walk the bitrate up gradually;
+//!    * if `r_ref` is **below** the previous level, search downward from
+//!      the previous level to `r_ref` for the first level whose segment
+//!      can download before the buffer drains (`size_j / bw ≤ buffer`);
+//!      if none qualifies, use `r_ref` itself;
+//!    * otherwise keep the previous level.
+
+use ecas_net::{BandwidthEstimator, HarmonicMean};
+use ecas_power::task::{TaskConditions, TaskEnergyModel};
+use ecas_qoe::model::QoeModel;
+use ecas_sim::controller::{BitrateController, DecisionContext};
+use ecas_types::ladder::LevelIndex;
+use ecas_types::units::{Mbps, MetersPerSec2, Seconds};
+
+use crate::objective::ObjectiveWeights;
+
+/// The online energy- and context-aware bitrate selector ("Ours").
+///
+/// # Examples
+///
+/// ```
+/// use ecas_abr::Online;
+/// use ecas_sim::Simulator;
+/// use ecas_trace::videos::EvalTraceSpec;
+/// use ecas_types::ladder::BitrateLadder;
+///
+/// let session = EvalTraceSpec::table_v()[0].generate();
+/// let sim = Simulator::paper(BitrateLadder::evaluation());
+/// let result = sim.run(&session, &mut Online::paper());
+/// assert!(result.mean_qoe.value() > 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Online {
+    weights: ObjectiveWeights,
+    energy_model: TaskEnergyModel,
+    qoe_model: QoeModel,
+    estimator: HarmonicMean,
+    history_len: usize,
+}
+
+impl Online {
+    /// Creates the selector with explicit models and weights.
+    #[must_use]
+    pub fn new(
+        weights: ObjectiveWeights,
+        energy_model: TaskEnergyModel,
+        qoe_model: QoeModel,
+    ) -> Self {
+        Self {
+            weights,
+            energy_model,
+            qoe_model,
+            estimator: HarmonicMean::festive(),
+            history_len: 0,
+        }
+    }
+
+    /// The paper's configuration: η = 0.5, calibrated models, τ = 2 s.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(
+            ObjectiveWeights::paper(),
+            TaskEnergyModel::new(ecas_power::model::PowerModel::paper(), Seconds::new(2.0)),
+            QoeModel::paper(),
+        )
+    }
+
+    /// The paper's configuration with a custom `η` (for the Pareto sweep).
+    #[must_use]
+    pub fn with_eta(eta: f64) -> Self {
+        Self::new(
+            ObjectiveWeights::new(eta),
+            TaskEnergyModel::new(ecas_power::model::PowerModel::paper(), Seconds::new(2.0)),
+            QoeModel::paper(),
+        )
+    }
+
+    /// The objective weights in use.
+    #[must_use]
+    pub fn weights(&self) -> ObjectiveWeights {
+        self.weights
+    }
+
+    /// Replaces the objective weights (used by the adaptive-η extension,
+    /// which re-weights per decision).
+    pub fn set_weights(&mut self, weights: ObjectiveWeights) {
+        self.weights = weights;
+    }
+
+    /// Overrides the bandwidth-estimator window (default 20, the FESTIVE
+    /// setting adopted in Section IV-B) — used by the window-size
+    /// ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn estimator_window(mut self, window: usize) -> Self {
+        self.estimator = HarmonicMean::new(window);
+        self.history_len = 0;
+        self
+    }
+
+    /// Computes the reference level (line 4 of Algorithm 1): the Eq. (11)
+    /// argmin given the bandwidth estimate and vibration level.
+    fn reference_level(
+        &self,
+        ctx: &DecisionContext<'_>,
+        bandwidth: Mbps,
+        vibration: MetersPerSec2,
+    ) -> LevelIndex {
+        let conditions = TaskConditions {
+            throughput: bandwidth,
+            signal: ctx.signal,
+            buffer_ahead: ctx.buffer_level.max(ctx.segment_duration),
+        };
+        let max_bitrate = ctx.ladder.highest().bitrate();
+        let e_max = self.energy_model.max_energy(max_bitrate, conditions);
+        let q_max = self.qoe_model.max_segment_qoe(max_bitrate, vibration);
+
+        // The reference is switch-penalty-free: including the switch term
+        // in the argmin makes the previous level sticky (hysteresis) and
+        // defeats the gradual-adjustment rules of lines 5-9, which are the
+        // algorithm's own mechanism for smoothing switches. Projected
+        // rebuffering, by contrast, belongs in the reference — a level the
+        // link cannot sustain must look expensive.
+        let mut best = ctx.ladder.lowest_level();
+        let mut best_cost = f64::INFINITY;
+        for level in ctx.ladder.levels() {
+            let bitrate = ctx.ladder.bitrate(level);
+            let energy = self.energy_model.energy(bitrate, conditions);
+            let qoe = self
+                .qoe_model
+                .segment_qoe(bitrate, vibration, None, energy.rebuffer);
+            let cost = self.weights.cost(energy.total, e_max, qoe, q_max);
+            if cost < best_cost {
+                best_cost = cost;
+                best = level;
+            }
+        }
+        best
+    }
+}
+
+impl Default for Online {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl BitrateController for Online {
+    fn select(&mut self, ctx: &DecisionContext<'_>) -> LevelIndex {
+        if ctx.history.len() < self.history_len {
+            // The history shrank: a new session started without reset();
+            // recover by starting the estimator over.
+            self.reset();
+        }
+        for obs in &ctx.history[self.history_len..] {
+            self.estimator.observe(obs.throughput);
+        }
+        self.history_len = ctx.history.len();
+
+        let bandwidth = match self.estimator.estimate() {
+            Some(bw) => bw,
+            // Cold start: be conservative until the first download lands.
+            None => return ctx.ladder.lowest_level(),
+        };
+        let vibration = ctx.vibration.unwrap_or(MetersPerSec2::zero());
+        let reference = self.reference_level(ctx, bandwidth, vibration);
+
+        let Some(prev) = ctx.prev_level else {
+            return reference;
+        };
+
+        if reference > prev {
+            // Lines 5-6: gradual increase, one level per segment.
+            ctx.ladder.up(prev)
+        } else if reference < prev {
+            // Lines 7-9: from one level below prev down to reference, take
+            // the first (highest) level that downloads before the buffer
+            // drains; prev itself is excluded so the bitrate actually
+            // decreases toward the reference.
+            let buffer = ctx.buffer_level.value();
+            let mut chosen = reference;
+            for idx in (reference.value()..prev.value()).rev() {
+                let level = LevelIndex::new(idx);
+                let size = ctx.ladder.bitrate(level).data_over(ctx.segment_duration);
+                let dl_time = size.transfer_time(bandwidth.max(Mbps::new(0.01)));
+                if dl_time.value() <= buffer {
+                    chosen = level;
+                    break;
+                }
+            }
+            chosen
+        } else {
+            prev
+        }
+    }
+
+    fn name(&self) -> String {
+        "ours".to_string()
+    }
+
+    fn reset(&mut self) {
+        self.estimator.reset();
+        self.history_len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecas_sim::controller::ThroughputObservation;
+    use ecas_types::ids::SegmentIndex;
+    use ecas_types::ladder::BitrateLadder;
+    use ecas_types::units::Dbm;
+
+    struct CtxBuilder {
+        history: Vec<ThroughputObservation>,
+        buffer: f64,
+        prev: Option<usize>,
+        vibration: Option<f64>,
+        signal: f64,
+    }
+
+    impl CtxBuilder {
+        fn new() -> Self {
+            Self {
+                history: Vec::new(),
+                buffer: 20.0,
+                prev: None,
+                vibration: None,
+                signal: -90.0,
+            }
+        }
+
+        fn throughputs(mut self, values: &[f64]) -> Self {
+            self.history = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ThroughputObservation {
+                    segment: SegmentIndex::new(i),
+                    throughput: Mbps::new(v),
+                    completed_at: Seconds::new(i as f64),
+                })
+                .collect();
+            self
+        }
+
+        fn prev(mut self, level: usize) -> Self {
+            self.prev = Some(level);
+            self
+        }
+
+        fn vibration(mut self, v: f64) -> Self {
+            self.vibration = Some(v);
+            self
+        }
+
+        fn buffer(mut self, b: f64) -> Self {
+            self.buffer = b;
+            self
+        }
+
+        fn build<'a>(&'a self, ladder: &'a BitrateLadder) -> DecisionContext<'a> {
+            DecisionContext {
+                segment: SegmentIndex::new(self.history.len()),
+                total_segments: 200,
+                now: Seconds::zero(),
+                buffer_level: Seconds::new(self.buffer),
+                prev_level: self.prev.map(LevelIndex::new),
+                ladder,
+                segment_duration: Seconds::new(2.0),
+                buffer_threshold: Seconds::new(30.0),
+                playback_started: true,
+                history: &self.history,
+                vibration: self.vibration.map(MetersPerSec2::new),
+                signal: Dbm::new(self.signal),
+            }
+        }
+    }
+
+    #[test]
+    fn cold_start_is_lowest() {
+        let ladder = BitrateLadder::evaluation();
+        let mut o = Online::paper();
+        let b = CtxBuilder::new();
+        assert_eq!(o.select(&b.build(&ladder)), ladder.lowest_level());
+    }
+
+    #[test]
+    fn high_vibration_lowers_reference() {
+        let ladder = BitrateLadder::evaluation();
+        let o = Online::paper();
+        let calm = CtxBuilder::new().throughputs(&[30.0; 5]).vibration(0.3);
+        let shaky = CtxBuilder::new().throughputs(&[30.0; 5]).vibration(6.5);
+        let r_calm = o.reference_level(
+            &calm.build(&ladder),
+            Mbps::new(30.0),
+            MetersPerSec2::new(0.3),
+        );
+        let r_shaky = o.reference_level(
+            &shaky.build(&ladder),
+            Mbps::new(30.0),
+            MetersPerSec2::new(6.5),
+        );
+        assert!(
+            r_shaky < r_calm,
+            "vibration should lower the reference: calm {r_calm}, shaky {r_shaky}"
+        );
+    }
+
+    #[test]
+    fn weak_signal_lowers_reference() {
+        let ladder = BitrateLadder::evaluation();
+        let o = Online::paper();
+        let mut strong = CtxBuilder::new().throughputs(&[20.0; 5]).vibration(2.0);
+        strong.signal = -85.0;
+        let mut weak = CtxBuilder::new().throughputs(&[20.0; 5]).vibration(2.0);
+        weak.signal = -118.0;
+        let r_strong = o.reference_level(
+            &strong.build(&ladder),
+            Mbps::new(20.0),
+            MetersPerSec2::new(2.0),
+        );
+        let r_weak = o.reference_level(
+            &weak.build(&ladder),
+            Mbps::new(20.0),
+            MetersPerSec2::new(2.0),
+        );
+        assert!(
+            r_weak <= r_strong,
+            "weak signal must not raise the reference"
+        );
+    }
+
+    #[test]
+    fn gradual_increase_one_level_at_a_time() {
+        let ladder = BitrateLadder::evaluation();
+        let mut o = Online::paper();
+        // Plenty of bandwidth, calm context, but previous level was 2:
+        // whatever the reference, the step is exactly one level.
+        let b = CtxBuilder::new()
+            .throughputs(&[40.0; 10])
+            .vibration(0.2)
+            .prev(2);
+        let level = o.select(&b.build(&ladder));
+        assert_eq!(level, LevelIndex::new(3));
+    }
+
+    #[test]
+    fn decrease_respects_buffer_feasibility() {
+        let ladder = BitrateLadder::evaluation();
+        let mut o = Online::paper();
+        // Slow link (1 Mbps), heavy vibration, previous level high, and a
+        // comfortable buffer: the first feasible level below prev wins.
+        let b = CtxBuilder::new()
+            .throughputs(&[1.0; 10])
+            .vibration(6.5)
+            .prev(13)
+            .buffer(25.0);
+        let level = o.select(&b.build(&ladder));
+        assert!(level < LevelIndex::new(13), "must decrease from the top");
+        // Feasibility: size/bw <= buffer for the chosen level.
+        let size = ladder.bitrate(level).data_over(Seconds::new(2.0));
+        assert!(size.transfer_time(Mbps::new(1.0)).value() <= 25.0);
+    }
+
+    #[test]
+    fn tiny_buffer_forces_reference_drop() {
+        let ladder = BitrateLadder::evaluation();
+        let mut o = Online::paper();
+        // Nothing from prev down to ref downloads within a 0.2 s buffer at
+        // 0.5 Mbps, so the algorithm falls straight to the reference.
+        let b = CtxBuilder::new()
+            .throughputs(&[0.5; 10])
+            .vibration(6.0)
+            .prev(13)
+            .buffer(0.2);
+        let level = o.select(&b.build(&ladder));
+        let reference = o.reference_level(
+            &CtxBuilder::new()
+                .throughputs(&[0.5; 10])
+                .vibration(6.0)
+                .prev(13)
+                .buffer(0.2)
+                .build(&ladder),
+            Mbps::new(0.5),
+            MetersPerSec2::new(6.0),
+        );
+        assert_eq!(level, reference);
+    }
+
+    #[test]
+    fn stable_when_reference_equals_prev() {
+        let ladder = BitrateLadder::evaluation();
+        let o = Online::paper();
+        // Find the steady-state reference, then present it as prev.
+        let probe = CtxBuilder::new().throughputs(&[12.0; 10]).vibration(3.0);
+        let reference = o.reference_level(
+            &probe.build(&ladder),
+            Mbps::new(12.0),
+            MetersPerSec2::new(3.0),
+        );
+        let mut o2 = Online::paper();
+        let b = CtxBuilder::new()
+            .throughputs(&[12.0; 10])
+            .vibration(3.0)
+            .prev(reference.value());
+        assert_eq!(o2.select(&b.build(&ladder)), reference);
+    }
+
+    #[test]
+    fn eta_extremes_move_reference() {
+        let ladder = BitrateLadder::evaluation();
+        // Pure energy (eta = 1) must pick the bottom; pure QoE (eta = 0)
+        // picks at least as high a level in a calm context.
+        let energy_only = Online::with_eta(1.0);
+        let qoe_only = Online::with_eta(0.0);
+        let b = CtxBuilder::new().throughputs(&[30.0; 10]).vibration(0.3);
+        let r_energy = energy_only.reference_level(
+            &b.build(&ladder),
+            Mbps::new(30.0),
+            MetersPerSec2::new(0.3),
+        );
+        let r_qoe =
+            qoe_only.reference_level(&b.build(&ladder), Mbps::new(30.0), MetersPerSec2::new(0.3));
+        assert_eq!(r_energy, ladder.lowest_level());
+        assert!(r_qoe > r_energy);
+    }
+}

@@ -1,0 +1,434 @@
+//! The optimal algorithm (Section IV-A, Fig. 4).
+//!
+//! With full knowledge of the trace, bitrate selection maps to a shortest
+//! path on a layered graph: one layer per task, one node per bitrate
+//! level, edge weights given by the Eq. (11) cost of entering a level from
+//! the previous one. The path from the source to the sink with minimum
+//! total weight is the optimal bitrate plan.
+//!
+//! Per the paper, the plan's per-task conditions (throughput, signal,
+//! vibration) are indexed from the trace by the task's playback slot,
+//! making the edge weights separable (see `DESIGN.md`). The plan is then
+//! *replayed* through the event simulator so that all approaches are
+//! measured under identical mechanics.
+//!
+//! The paper solves the graph with Dijkstra's algorithm. Eq. (11) weights
+//! can be negative, so a constant shift (harmless because all `s → e`
+//! paths have the same edge count) makes them non-negative; a
+//! topological-order dynamic program cross-checks the result.
+
+use ecas_power::task::{TaskConditions, TaskEnergyModel};
+use ecas_qoe::model::QoeModel;
+use ecas_sensors::vibration::vibration_level_in_window;
+use ecas_sim::config::PlayerConfig;
+use ecas_sim::controller::{BitrateController, DecisionContext};
+use ecas_trace::session::SessionTrace;
+use ecas_types::ladder::{BitrateLadder, LevelIndex};
+use ecas_types::units::{Mbps, MetersPerSec2, Seconds};
+
+use crate::graph::Graph;
+use crate::objective::ObjectiveWeights;
+
+/// An optimal bitrate plan for one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalPlan {
+    /// The chosen level for each task, in task order.
+    pub levels: Vec<LevelIndex>,
+    /// The Eq. (11) objective value of the plan (unshifted).
+    pub objective: f64,
+}
+
+/// Plans optimal bitrate sequences from full trace knowledge.
+#[derive(Debug, Clone)]
+pub struct OptimalPlanner {
+    weights: ObjectiveWeights,
+    energy_model: TaskEnergyModel,
+    qoe_model: QoeModel,
+    ladder: BitrateLadder,
+    config: PlayerConfig,
+}
+
+/// Per-task conditions extracted from the trace.
+struct TaskContext {
+    conditions: TaskConditions,
+    vibration: MetersPerSec2,
+    e_max: f64,
+    q_max: f64,
+}
+
+impl OptimalPlanner {
+    /// Creates a planner with explicit models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    #[must_use]
+    pub fn new(
+        weights: ObjectiveWeights,
+        energy_model: TaskEnergyModel,
+        qoe_model: QoeModel,
+        ladder: BitrateLadder,
+        config: PlayerConfig,
+    ) -> Self {
+        assert!(config.is_valid(), "invalid player config");
+        Self {
+            weights,
+            energy_model,
+            qoe_model,
+            ladder,
+            config,
+        }
+    }
+
+    /// The paper's configuration (η = 0.5, calibrated models, τ = 2 s,
+    /// B = 30 s).
+    #[must_use]
+    pub fn paper(ladder: BitrateLadder) -> Self {
+        let config = PlayerConfig::paper();
+        Self::new(
+            ObjectiveWeights::paper(),
+            TaskEnergyModel::new(
+                ecas_power::model::PowerModel::paper(),
+                config.segment_duration,
+            ),
+            QoeModel::paper(),
+            ladder,
+            config,
+        )
+    }
+
+    /// The paper's configuration with a custom `η`.
+    #[must_use]
+    pub fn with_eta(ladder: BitrateLadder, eta: f64) -> Self {
+        let config = PlayerConfig::paper();
+        Self::new(
+            ObjectiveWeights::new(eta),
+            TaskEnergyModel::new(
+                ecas_power::model::PowerModel::paper(),
+                config.segment_duration,
+            ),
+            QoeModel::paper(),
+            ladder,
+            config,
+        )
+    }
+
+    /// Number of tasks for a session.
+    fn task_count(&self, session: &SessionTrace) -> usize {
+        let tau = self.config.segment_duration.value();
+        (session.meta().video_length.value() / tau).ceil() as usize
+    }
+
+    /// Extracts the per-task conditions from the trace.
+    fn task_contexts(&self, session: &SessionTrace) -> Vec<TaskContext> {
+        let tau = self.config.segment_duration;
+        let n = self.task_count(session);
+        let max_bitrate = self.ladder.highest().bitrate();
+        (0..n)
+            .map(|i| {
+                let start = tau * i as f64;
+                let end = start + tau;
+                // Mean throughput over the slot (step function average at
+                // slot start/end — cheap and adequate at 1 Hz traces).
+                let thr = {
+                    let samples = session.network().window(start, end);
+                    if samples.is_empty() {
+                        session.network().throughput_at(start)
+                    } else {
+                        let sum: f64 = samples.iter().map(|s| s.throughput.value()).sum();
+                        Mbps::new(sum / samples.len() as f64)
+                    }
+                };
+                let signal = session.signal().signal_at(start + tau * 0.5);
+                // Vibration at playback time, per Eq. 5's trailing window.
+                let vib_from = start.saturating_sub(Seconds::new(6.0));
+                let vibration = vibration_level_in_window(session.accel(), vib_from, end)
+                    .unwrap_or(MetersPerSec2::zero());
+                let conditions = TaskConditions {
+                    throughput: thr,
+                    signal,
+                    buffer_ahead: self.config.buffer_threshold,
+                };
+                let e_max = self
+                    .energy_model
+                    .max_energy(max_bitrate, conditions)
+                    .value();
+                let q_max = self
+                    .qoe_model
+                    .max_segment_qoe(max_bitrate, vibration)
+                    .value()
+                    .max(1e-6);
+                TaskContext {
+                    conditions,
+                    vibration,
+                    e_max,
+                    q_max,
+                }
+            })
+            .collect()
+    }
+
+    /// Eq. (11) cost of choosing `level` for task `ctx` coming from
+    /// `prev` (unshifted).
+    fn cost(&self, ctx: &TaskContext, level: LevelIndex, prev: Option<LevelIndex>) -> f64 {
+        let bitrate = self.ladder.bitrate(level);
+        let energy = self.energy_model.energy(bitrate, ctx.conditions);
+        let prev_bitrate = prev.map(|l| self.ladder.bitrate(l));
+        let qoe = self
+            .qoe_model
+            .segment_qoe(bitrate, ctx.vibration, prev_bitrate, energy.rebuffer);
+        self.weights.eta() * (energy.total.value() / ctx.e_max)
+            - (1.0 - self.weights.eta()) * (qoe.value() / ctx.q_max)
+    }
+
+    /// Computes the optimal plan via the Fig. 4 shortest-path mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is shorter than one segment, or if the
+    /// Dijkstra and dynamic-programming solutions disagree (an internal
+    /// consistency failure).
+    #[must_use]
+    pub fn plan(&self, session: &SessionTrace) -> OptimalPlan {
+        let contexts = self.task_contexts(session);
+        let n = contexts.len();
+        assert!(n > 0, "session shorter than one segment");
+        let m = self.ladder.len();
+        let shift = self.weights.nonnegative_shift();
+
+        // Node layout: 0 = source, 1 + i*m + j = task i at level j,
+        // 1 + n*m = sink. Indices increase along edges (topological).
+        let node = |i: usize, j: usize| 1 + i * m + j;
+        let sink = 1 + n * m;
+        let mut graph = Graph::new(sink + 1);
+
+        for j in 0..m {
+            let w = self.cost(&contexts[0], LevelIndex::new(j), None) + shift;
+            graph.add_edge(0, node(0, j), w);
+        }
+        for (i, ctx) in contexts.iter().enumerate().skip(1) {
+            for jp in 0..m {
+                for j in 0..m {
+                    let w = self.cost(ctx, LevelIndex::new(j), Some(LevelIndex::new(jp))) + shift;
+                    graph.add_edge(node(i - 1, jp), node(i, j), w);
+                }
+            }
+        }
+        for j in 0..m {
+            graph.add_edge(node(n - 1, j), sink, 0.0);
+        }
+
+        let (cost_dijkstra, path) = graph
+            .dijkstra_path(0, sink)
+            .expect("layered graph is connected");
+        let (cost_dp, path_dp) = graph
+            .dag_shortest_path(0, sink)
+            .expect("layered graph is connected");
+        assert!(
+            (cost_dijkstra - cost_dp).abs() < 1e-6,
+            "Dijkstra ({cost_dijkstra}) and DP ({cost_dp}) disagree"
+        );
+        // Paths may differ under exact ties; costs must match.
+        debug_assert_eq!(path.len(), path_dp.len());
+
+        let levels: Vec<LevelIndex> = path[1..path.len() - 1]
+            .iter()
+            .map(|&id| LevelIndex::new((id - 1) % m))
+            .collect();
+        let objective = cost_dijkstra - shift * n as f64;
+        OptimalPlan { levels, objective }
+    }
+
+    /// Evaluates the Eq. (11) objective of an arbitrary plan on this
+    /// session (for comparisons; the optimal plan minimizes this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` does not have one entry per task.
+    #[must_use]
+    pub fn objective_of(&self, session: &SessionTrace, levels: &[LevelIndex]) -> f64 {
+        let contexts = self.task_contexts(session);
+        assert_eq!(
+            levels.len(),
+            contexts.len(),
+            "plan length {} != task count {}",
+            levels.len(),
+            contexts.len()
+        );
+        let mut total = 0.0;
+        let mut prev: Option<LevelIndex> = None;
+        for (ctx, &level) in contexts.iter().zip(levels) {
+            total += self.cost(ctx, level, prev);
+            prev = Some(level);
+        }
+        total
+    }
+}
+
+/// Replays a precomputed plan through the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedController {
+    levels: Vec<LevelIndex>,
+    label: String,
+}
+
+impl PlannedController {
+    /// Wraps a plan for replay.
+    #[must_use]
+    pub fn new(plan: &OptimalPlan) -> Self {
+        Self {
+            levels: plan.levels.clone(),
+            label: "optimal".to_string(),
+        }
+    }
+
+    /// Wraps an arbitrary level sequence with a custom label.
+    #[must_use]
+    pub fn from_levels(levels: Vec<LevelIndex>, label: impl Into<String>) -> Self {
+        Self {
+            levels,
+            label: label.into(),
+        }
+    }
+}
+
+impl BitrateController for PlannedController {
+    fn select(&mut self, ctx: &DecisionContext<'_>) -> LevelIndex {
+        self.levels
+            .get(ctx.segment.value())
+            .copied()
+            // Defensive: a plan shorter than the session falls back to the
+            // lowest level rather than panicking mid-replay.
+            .unwrap_or_else(|| ctx.ladder.lowest_level())
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecas_trace::synth::context::{Context, ContextSchedule};
+    use ecas_trace::synth::SessionGenerator;
+    use ecas_trace::videos::EvalTraceSpec;
+
+    fn session(ctx: Context, secs: f64, seed: u64) -> SessionTrace {
+        SessionGenerator::new(
+            "opt",
+            ContextSchedule::constant(ctx),
+            Seconds::new(secs),
+            seed,
+        )
+        .generate()
+    }
+
+    #[test]
+    fn plan_covers_every_task() {
+        let s = session(Context::Walking, 60.0, 1);
+        let planner = OptimalPlanner::paper(BitrateLadder::evaluation());
+        let plan = planner.plan(&s);
+        assert_eq!(plan.levels.len(), 30);
+    }
+
+    #[test]
+    fn optimal_beats_every_fixed_plan() {
+        let s = session(Context::MovingVehicle, 60.0, 2);
+        let ladder = BitrateLadder::evaluation();
+        let planner = OptimalPlanner::paper(ladder.clone());
+        let plan = planner.plan(&s);
+        let n = plan.levels.len();
+        for j in 0..ladder.len() {
+            let fixed = vec![LevelIndex::new(j); n];
+            let fixed_obj = planner.objective_of(&s, &fixed);
+            assert!(
+                plan.objective <= fixed_obj + 1e-9,
+                "optimal {} worse than fixed level {j} ({fixed_obj})",
+                plan.objective
+            );
+        }
+    }
+
+    #[test]
+    fn objective_of_plan_matches_reported() {
+        let s = session(Context::Walking, 40.0, 3);
+        let planner = OptimalPlanner::paper(BitrateLadder::evaluation());
+        let plan = planner.plan(&s);
+        let recomputed = planner.objective_of(&s, &plan.levels);
+        assert!(
+            (plan.objective - recomputed).abs() < 1e-6,
+            "{} vs {recomputed}",
+            plan.objective
+        );
+    }
+
+    #[test]
+    fn heavy_vibration_pushes_plan_down() {
+        let quiet = session(Context::QuietRoom, 120.0, 4);
+        let bus = session(Context::MovingVehicle, 120.0, 4);
+        let planner = OptimalPlanner::paper(BitrateLadder::evaluation());
+        let mean = |plan: &OptimalPlan| {
+            plan.levels.iter().map(|l| l.value()).sum::<usize>() as f64 / plan.levels.len() as f64
+        };
+        let quiet_mean = mean(&planner.plan(&quiet));
+        let bus_mean = mean(&planner.plan(&bus));
+        assert!(
+            bus_mean < quiet_mean,
+            "bus plan ({bus_mean}) should sit below quiet plan ({quiet_mean})"
+        );
+    }
+
+    #[test]
+    fn eta_one_plans_all_lowest() {
+        let s = session(Context::Walking, 40.0, 5);
+        let ladder = BitrateLadder::evaluation();
+        let planner = OptimalPlanner::with_eta(ladder.clone(), 1.0);
+        let plan = planner.plan(&s);
+        assert!(
+            plan.levels.iter().all(|&l| l == ladder.lowest_level()),
+            "pure-energy plan must pick the bottom everywhere"
+        );
+    }
+
+    #[test]
+    fn eta_zero_plans_high_in_quiet_room() {
+        let s = session(Context::QuietRoom, 40.0, 6);
+        let ladder = BitrateLadder::evaluation();
+        let planner = OptimalPlanner::with_eta(ladder.clone(), 0.0);
+        let plan = planner.plan(&s);
+        let mean_level =
+            plan.levels.iter().map(|l| l.value()).sum::<usize>() as f64 / plan.levels.len() as f64;
+        assert!(
+            mean_level > 10.0,
+            "pure-QoE quiet plan sits high, got {mean_level}"
+        );
+    }
+
+    #[test]
+    fn planned_controller_replays_plan_through_simulator() {
+        let spec = &EvalTraceSpec::table_v()[0];
+        let s = spec.generate();
+        let ladder = BitrateLadder::evaluation();
+        let planner = OptimalPlanner::paper(ladder.clone());
+        let plan = planner.plan(&s);
+        let sim = ecas_sim::Simulator::paper(ladder);
+        let result = sim.run(&s, &mut PlannedController::new(&plan));
+        assert_eq!(result.controller, "optimal");
+        for (task, &level) in result.tasks.iter().zip(&plan.levels) {
+            assert_eq!(task.level, level);
+        }
+    }
+
+    #[test]
+    fn short_plan_falls_back_to_lowest() {
+        let s = session(Context::Walking, 20.0, 7);
+        let ladder = BitrateLadder::evaluation();
+        let mut ctrl =
+            PlannedController::from_levels(vec![ladder.highest_level(); 2], "short-plan");
+        let sim = ecas_sim::Simulator::paper(ladder.clone());
+        let result = sim.run(&s, &mut ctrl);
+        assert_eq!(result.tasks.len(), 10);
+        assert_eq!(result.tasks[5].level, ladder.lowest_level());
+    }
+}

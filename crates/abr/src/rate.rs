@@ -1,0 +1,106 @@
+//! A naive rate-based controller — the strawman most ABR papers compare
+//! against: pick the highest bitrate below the *last* observed segment
+//! throughput, with no smoothing at all.
+
+use ecas_sim::controller::{BitrateController, DecisionContext};
+use ecas_types::ladder::LevelIndex;
+
+/// Last-sample rate-matching controller.
+///
+/// Overreacts to every throughput fluctuation; included to quantify what
+/// FESTIVE's harmonic-mean smoothing buys.
+///
+/// # Examples
+///
+/// ```
+/// use ecas_abr::RateBased;
+/// use ecas_sim::Simulator;
+/// use ecas_trace::videos::EvalTraceSpec;
+/// use ecas_types::ladder::BitrateLadder;
+///
+/// let session = EvalTraceSpec::table_v()[2].generate(); // vehicle trace
+/// let sim = Simulator::paper(BitrateLadder::evaluation());
+/// let naive = sim.run(&session, &mut RateBased::new());
+/// let smoothed = sim.run(&session, &mut ecas_abr::Festive::new());
+/// // Chases every wiggle: far more switches than FESTIVE's smoothed picks.
+/// assert!(naive.switches > 2 * smoothed.switches);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RateBased;
+
+impl RateBased {
+    /// Creates the controller.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BitrateController for RateBased {
+    fn select(&mut self, ctx: &DecisionContext<'_>) -> LevelIndex {
+        match ctx.history.last() {
+            None => ctx.ladder.lowest_level(),
+            Some(obs) => ctx.ladder.highest_at_most_or_lowest(obs.throughput),
+        }
+    }
+
+    fn name(&self) -> String {
+        "rate-based".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecas_sim::controller::ThroughputObservation;
+    use ecas_types::ids::SegmentIndex;
+    use ecas_types::ladder::BitrateLadder;
+    use ecas_types::units::{Dbm, Mbps, Seconds};
+
+    fn ctx<'a>(
+        ladder: &'a BitrateLadder,
+        history: &'a [ThroughputObservation],
+    ) -> DecisionContext<'a> {
+        DecisionContext {
+            segment: SegmentIndex::new(history.len()),
+            total_segments: 10,
+            now: Seconds::zero(),
+            buffer_level: Seconds::new(10.0),
+            prev_level: None,
+            ladder,
+            segment_duration: Seconds::new(2.0),
+            buffer_threshold: Seconds::new(30.0),
+            playback_started: true,
+            history,
+            vibration: None,
+            signal: Dbm::new(-90.0),
+        }
+    }
+
+    #[test]
+    fn follows_last_sample_only() {
+        let ladder = BitrateLadder::evaluation();
+        let mut c = RateBased::new();
+        let history = vec![
+            ThroughputObservation {
+                segment: SegmentIndex::new(0),
+                throughput: Mbps::new(30.0),
+                completed_at: Seconds::new(1.0),
+            },
+            ThroughputObservation {
+                segment: SegmentIndex::new(1),
+                throughput: Mbps::new(1.0),
+                completed_at: Seconds::new(2.0),
+            },
+        ];
+        let level = c.select(&ctx(&ladder, &history));
+        assert_eq!(ladder.bitrate(level), Mbps::new(1.0));
+    }
+
+    #[test]
+    fn cold_start_lowest() {
+        let ladder = BitrateLadder::evaluation();
+        let mut c = RateBased::new();
+        assert_eq!(c.select(&ctx(&ladder, &[])), ladder.lowest_level());
+    }
+}

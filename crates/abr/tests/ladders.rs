@@ -1,0 +1,96 @@
+//! Controllers must work on any valid ladder, not just the 14-level
+//! evaluation ladder (the quality study uses the 6-level Table II ladder,
+//! and real deployments have their own).
+
+use ecas_abr::{AdaptiveEta, Bba, Bola, Festive, Mpc, Online, OptimalPlanner, Pid, RateBased};
+use ecas_sim::controller::{BitrateController, FixedLevel};
+use ecas_sim::Simulator;
+use ecas_trace::synth::context::{Context, ContextSchedule};
+use ecas_trace::synth::SessionGenerator;
+use ecas_types::ladder::BitrateLadder;
+use ecas_types::units::{Mbps, Seconds};
+
+fn session(seed: u64) -> ecas_trace::session::SessionTrace {
+    SessionGenerator::new(
+        "ladders",
+        ContextSchedule::constant(Context::MovingVehicle),
+        Seconds::new(60.0),
+        seed,
+    )
+    .generate()
+}
+
+fn controllers() -> Vec<Box<dyn BitrateController>> {
+    vec![
+        Box::new(FixedLevel::highest()),
+        Box::new(Festive::new()),
+        Box::new(Bba::new()),
+        Box::new(Online::paper()),
+        Box::new(Bola::new()),
+        Box::new(Mpc::new()),
+        Box::new(Pid::new()),
+        Box::new(RateBased::new()),
+        Box::new(AdaptiveEta::new()),
+    ]
+}
+
+#[test]
+fn all_controllers_run_on_table_ii_ladder() {
+    let s = session(1);
+    let sim = Simulator::paper(BitrateLadder::table_ii());
+    for mut c in controllers() {
+        let r = sim.run(&s, c.as_mut());
+        assert_eq!(r.tasks.len(), 30, "{}", c.name());
+        assert!(r.total_energy.value() > 0.0);
+    }
+}
+
+#[test]
+fn all_controllers_run_on_a_two_level_ladder() {
+    let ladder = BitrateLadder::from_bitrates(vec![Mbps::new(0.5), Mbps::new(4.0)]).unwrap();
+    let s = session(2);
+    let sim = Simulator::paper(ladder);
+    for mut c in controllers() {
+        let r = sim.run(&s, c.as_mut());
+        assert_eq!(r.tasks.len(), 30, "{}", c.name());
+        for t in &r.tasks {
+            assert!(t.level.value() < 2);
+        }
+    }
+}
+
+#[test]
+fn all_controllers_run_on_a_single_level_ladder() {
+    let ladder = BitrateLadder::from_bitrates(vec![Mbps::new(1.0)]).unwrap();
+    let s = session(3);
+    let sim = Simulator::paper(ladder);
+    for mut c in controllers() {
+        let r = sim.run(&s, c.as_mut());
+        assert!(r.tasks.iter().all(|t| t.level.value() == 0), "{}", c.name());
+        assert_eq!(r.switches, 0);
+    }
+}
+
+#[test]
+fn optimal_planner_works_on_table_ii_ladder() {
+    let s = session(4);
+    let planner = OptimalPlanner::paper(BitrateLadder::table_ii());
+    let plan = planner.plan(&s);
+    assert_eq!(plan.levels.len(), 30);
+    assert!(plan.levels.iter().all(|l| l.value() < 6));
+}
+
+#[test]
+fn coarse_ladder_costs_some_objective_vs_fine_ladder() {
+    // The 14-level ladder refines the 6-level one, so the optimal
+    // objective can only improve (weakly) with more choices.
+    let s = session(5);
+    let coarse = OptimalPlanner::paper(BitrateLadder::table_ii()).plan(&s);
+    let fine = OptimalPlanner::paper(BitrateLadder::evaluation()).plan(&s);
+    assert!(
+        fine.objective <= coarse.objective + 1e-9,
+        "fine {} vs coarse {}",
+        fine.objective,
+        coarse.objective
+    );
+}

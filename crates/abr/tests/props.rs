@@ -1,0 +1,138 @@
+//! Property-based fuzzing of every controller: for arbitrary decision
+//! contexts, a controller must return an in-range level and never panic;
+//! and the optimal planner must dominate random plans.
+
+use ecas_abr::{Bba, Bola, Festive, Mpc, Online, OptimalPlanner, Pid, RateBased};
+use ecas_sim::controller::{BitrateController, DecisionContext, ThroughputObservation};
+use ecas_trace::synth::context::{Context, ContextSchedule};
+use ecas_trace::synth::SessionGenerator;
+use ecas_types::ids::SegmentIndex;
+use ecas_types::ladder::{BitrateLadder, LevelIndex};
+use ecas_types::units::{Dbm, Mbps, MetersPerSec2, Seconds};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct FuzzInput {
+    throughputs: Vec<f64>,
+    buffer: f64,
+    prev: Option<usize>,
+    vibration: Option<f64>,
+    signal: f64,
+    segment: usize,
+    playback_started: bool,
+}
+
+fn fuzz_input() -> impl Strategy<Value = FuzzInput> {
+    (
+        proptest::collection::vec(0.01f64..120.0, 0..40),
+        0.0f64..32.0,
+        proptest::option::of(0usize..14),
+        proptest::option::of(0.0f64..9.0),
+        -130.0f64..-60.0,
+        0usize..500,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(throughputs, buffer, prev, vibration, signal, segment, playback_started)| FuzzInput {
+                throughputs,
+                buffer,
+                prev,
+                vibration,
+                signal,
+                segment,
+                playback_started,
+            },
+        )
+}
+
+fn history(values: &[f64]) -> Vec<ThroughputObservation> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| ThroughputObservation {
+            segment: SegmentIndex::new(i),
+            throughput: Mbps::new(v),
+            completed_at: Seconds::new(i as f64 * 2.0),
+        })
+        .collect()
+}
+
+fn check_controller(controller: &mut dyn BitrateController, input: &FuzzInput) -> bool {
+    let ladder = BitrateLadder::evaluation();
+    let hist = history(&input.throughputs);
+    let ctx = DecisionContext {
+        segment: SegmentIndex::new(input.segment),
+        total_segments: 600,
+        now: Seconds::new(input.segment as f64 * 2.0),
+        buffer_level: Seconds::new(input.buffer),
+        prev_level: input.prev.map(LevelIndex::new),
+        ladder: &ladder,
+        segment_duration: Seconds::new(2.0),
+        buffer_threshold: Seconds::new(30.0),
+        playback_started: input.playback_started,
+        history: &hist,
+        vibration: input.vibration.map(MetersPerSec2::new),
+        signal: Dbm::new(input.signal),
+    };
+    let level = controller.select(&ctx);
+    level.value() < ladder.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_controllers_return_valid_levels(input in fuzz_input()) {
+        prop_assert!(check_controller(&mut Festive::new(), &input));
+        prop_assert!(check_controller(&mut Bba::new(), &input));
+        prop_assert!(check_controller(&mut Online::paper(), &input));
+        prop_assert!(check_controller(&mut Bola::new(), &input));
+        prop_assert!(check_controller(&mut Mpc::new(), &input));
+        prop_assert!(check_controller(&mut Pid::new(), &input));
+        prop_assert!(check_controller(&mut RateBased::new(), &input));
+    }
+
+    #[test]
+    fn controllers_survive_repeated_decisions(inputs in proptest::collection::vec(fuzz_input(), 1..20)) {
+        // Statefulness must not corrupt across arbitrary call sequences.
+        let mut online = Online::paper();
+        let mut bba = Bba::new();
+        let mut pid = Pid::new();
+        for input in &inputs {
+            prop_assert!(check_controller(&mut online, input));
+            prop_assert!(check_controller(&mut bba, input));
+            prop_assert!(check_controller(&mut pid, input));
+        }
+    }
+
+    #[test]
+    fn optimal_dominates_random_plans(seed in 0u64..100, plan_seed in 0u64..1000) {
+        let session = SessionGenerator::new(
+            "fuzz",
+            ContextSchedule::constant(Context::MovingVehicle),
+            Seconds::new(40.0),
+            seed,
+        )
+        .generate();
+        let ladder = BitrateLadder::evaluation();
+        let planner = OptimalPlanner::paper(ladder.clone());
+        let plan = planner.plan(&session);
+        // A deterministic pseudo-random plan of the same length.
+        let n = plan.levels.len();
+        let random_plan: Vec<LevelIndex> = (0..n)
+            .map(|i| {
+                let x = plan_seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((i as u64).wrapping_mul(1442695040888963407));
+                LevelIndex::new((x >> 33) as usize % ladder.len())
+            })
+            .collect();
+        let random_cost = planner.objective_of(&session, &random_plan);
+        prop_assert!(
+            plan.objective <= random_cost + 1e-9,
+            "optimal {} beaten by random {}",
+            plan.objective,
+            random_cost
+        );
+    }
+}

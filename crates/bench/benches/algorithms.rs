@@ -1,0 +1,95 @@
+//! Criterion benchmarks for the bitrate-adaptation algorithms: per-decision
+//! latency of the online controllers and end-to-end planning cost of the
+//! optimal algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecas_core::abr::{Bba, Festive, Online, OptimalPlanner};
+use ecas_core::sim::controller::{BitrateController, DecisionContext, ThroughputObservation};
+use ecas_core::trace::synth::context::{Context, ContextSchedule};
+use ecas_core::trace::synth::SessionGenerator;
+use ecas_core::types::ids::SegmentIndex;
+use ecas_core::types::ladder::{BitrateLadder, LevelIndex};
+use ecas_core::types::units::{Dbm, Mbps, MetersPerSec2, Seconds};
+
+fn history(n: usize) -> Vec<ThroughputObservation> {
+    (0..n)
+        .map(|i| ThroughputObservation {
+            segment: SegmentIndex::new(i),
+            throughput: Mbps::new(4.0 + (i % 7) as f64),
+            completed_at: Seconds::new(i as f64 * 2.0),
+        })
+        .collect()
+}
+
+fn make_ctx<'a>(
+    ladder: &'a BitrateLadder,
+    history: &'a [ThroughputObservation],
+) -> DecisionContext<'a> {
+    DecisionContext {
+        segment: SegmentIndex::new(history.len()),
+        total_segments: 300,
+        now: Seconds::new(100.0),
+        buffer_level: Seconds::new(22.0),
+        prev_level: Some(LevelIndex::new(9)),
+        ladder,
+        segment_duration: Seconds::new(2.0),
+        buffer_threshold: Seconds::new(30.0),
+        playback_started: true,
+        history,
+        vibration: Some(MetersPerSec2::new(5.0)),
+        signal: Dbm::new(-98.0),
+    }
+}
+
+fn decision_latency(c: &mut Criterion) {
+    let ladder = BitrateLadder::evaluation();
+    let hist = history(40);
+    let mut group = c.benchmark_group("decision");
+
+    group.bench_function("online", |b| {
+        let mut ctrl = Online::paper();
+        b.iter(|| {
+            let ctx = make_ctx(&ladder, &hist);
+            std::hint::black_box(ctrl.select(&ctx))
+        });
+    });
+    group.bench_function("festive", |b| {
+        let mut ctrl = Festive::new();
+        b.iter(|| {
+            let ctx = make_ctx(&ladder, &hist);
+            std::hint::black_box(ctrl.select(&ctx))
+        });
+    });
+    group.bench_function("bba", |b| {
+        let mut ctrl = Bba::new();
+        b.iter(|| {
+            let ctx = make_ctx(&ladder, &hist);
+            std::hint::black_box(ctrl.select(&ctx))
+        });
+    });
+    group.finish();
+}
+
+fn optimal_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_plan");
+    group.sample_size(10);
+    for secs in [60.0, 240.0, 600.0] {
+        let session = SessionGenerator::new(
+            "bench",
+            ContextSchedule::constant(Context::MovingVehicle),
+            Seconds::new(secs),
+            1,
+        )
+        .generate();
+        let planner = OptimalPlanner::paper(BitrateLadder::evaluation());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}tasks", (secs / 2.0) as usize)),
+            &session,
+            |b, session| b.iter(|| std::hint::black_box(planner.plan(session))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, decision_latency, optimal_planning);
+criterion_main!(benches);

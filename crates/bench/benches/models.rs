@@ -1,0 +1,99 @@
+//! Criterion benchmarks for the model layer: QoE evaluation, power
+//! evaluation, vibration estimation, and least-squares fitting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecas_core::power::model::PowerModel;
+use ecas_core::power::task::{TaskConditions, TaskEnergyModel};
+use ecas_core::qoe::fit::{fit_impairment, fit_quality};
+use ecas_core::qoe::model::QoeModel;
+use ecas_core::qoe::study::SubjectiveStudy;
+use ecas_core::sensors::vibration::VibrationEstimator;
+use ecas_core::trace::sample::AccelSample;
+use ecas_core::types::units::{Dbm, Mbps, MetersPerSec2, Seconds};
+
+fn qoe_and_power_eval(c: &mut Criterion) {
+    let qoe = QoeModel::paper();
+    let energy = TaskEnergyModel::new(PowerModel::paper(), Seconds::new(2.0));
+    let cond = TaskConditions {
+        throughput: Mbps::new(7.3),
+        signal: Dbm::new(-101.0),
+        buffer_ahead: Seconds::new(18.0),
+    };
+    c.bench_function("qoe_segment_eval", |b| {
+        b.iter(|| {
+            std::hint::black_box(qoe.segment_qoe(
+                Mbps::new(2.3),
+                MetersPerSec2::new(5.5),
+                Some(Mbps::new(3.0)),
+                Seconds::new(0.4),
+            ))
+        })
+    });
+    c.bench_function("task_energy_eval", |b| {
+        b.iter(|| std::hint::black_box(energy.energy(Mbps::new(2.3), cond)))
+    });
+}
+
+fn vibration_streaming(c: &mut Criterion) {
+    let samples: Vec<AccelSample> = (0..3000)
+        .map(|i| {
+            let t = i as f64 * 0.02;
+            AccelSample::new(Seconds::new(t), 0.1, -0.2, 9.81 + (t * 11.0).sin())
+        })
+        .collect();
+    c.bench_function("vibration_estimator_60s_stream", |b| {
+        b.iter(|| {
+            let mut est = VibrationEstimator::new();
+            for s in &samples {
+                est.push(*s);
+            }
+            std::hint::black_box(est.level())
+        })
+    });
+}
+
+fn fitting(c: &mut Criterion) {
+    let truth = ecas_core::qoe::quality::OriginalQuality::paper();
+    let quality_data: Vec<(Mbps, f64)> = (0..30)
+        .map(|i| {
+            let r = 0.1 + i as f64 * 0.19;
+            (Mbps::new(r), truth.at(Mbps::new(r)).value())
+        })
+        .collect();
+    c.bench_function("fit_quality_30pts", |b| {
+        b.iter(|| std::hint::black_box(fit_quality(&quality_data).unwrap()))
+    });
+
+    let surface = ecas_core::qoe::impairment::VibrationImpairment::paper();
+    let mut impairment_data = Vec::new();
+    for v in [0.5, 1.0, 2.0, 4.0, 6.0, 7.0] {
+        for r in [0.1, 0.375, 0.75, 1.5, 3.0, 5.8] {
+            impairment_data.push((
+                MetersPerSec2::new(v),
+                Mbps::new(r),
+                surface.at(MetersPerSec2::new(v), Mbps::new(r)),
+            ));
+        }
+    }
+    c.bench_function("fit_impairment_36pts", |b| {
+        b.iter(|| std::hint::black_box(fit_impairment(&impairment_data).unwrap()))
+    });
+}
+
+fn study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subjective_study");
+    group.sample_size(10);
+    group.bench_function("run_panel_20x10x6x4", |b| {
+        b.iter(|| std::hint::black_box(SubjectiveStudy::paper(7).run()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    qoe_and_power_eval,
+    vibration_streaming,
+    fitting,
+    study
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the end-to-end simulator: one full session per
+//! approach, plus trace generation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecas_core::trace::videos::EvalTraceSpec;
+use ecas_core::{Approach, ExperimentRunner};
+
+fn full_sessions(c: &mut Criterion) {
+    let session = EvalTraceSpec::table_v()[0].generate(); // 198 s, 99 tasks
+    let runner = ExperimentRunner::paper();
+    let mut group = c.benchmark_group("session_trace1");
+    group.sample_size(20);
+    for approach in Approach::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(approach.label()),
+            &approach,
+            |b, approach| b.iter(|| std::hint::black_box(runner.run(&session, approach))),
+        );
+    }
+    group.finish();
+}
+
+fn trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(20);
+    for spec in EvalTraceSpec::table_v() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name()),
+            &spec,
+            |b, spec| b.iter(|| std::hint::black_box(spec.generate())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, full_sessions, trace_generation);
+criterion_main!(benches);

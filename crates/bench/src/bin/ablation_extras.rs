@@ -1,0 +1,37 @@
+//! Ablation: the related-work extensions (BOLA, MPC) against the paper's
+//! five approaches, over the full Table V set.
+
+use ecas_bench::Table;
+use ecas_core::trace::videos::EvalTraceSpec;
+use ecas_core::{Approach, ComparisonSummary, ExperimentRunner};
+
+fn main() {
+    let sessions: Vec<_> = EvalTraceSpec::table_v()
+        .iter()
+        .map(EvalTraceSpec::generate)
+        .collect();
+    let runner = ExperimentRunner::paper();
+    let approaches = Approach::all();
+    let summary = ComparisonSummary::evaluate(&runner, &sessions, &approaches);
+
+    println!("Extensions: all implemented approaches over the Table V traces\n");
+    let mut table = Table::new(vec![
+        "approach",
+        "mean QoE",
+        "energy saving",
+        "extra-energy saving",
+        "QoE degradation",
+    ]);
+    for a in &approaches {
+        table.row(vec![
+            a.label().to_string(),
+            format!("{:.2}", summary.mean_qoe(*a)),
+            format!("{:.1}%", 100.0 * summary.mean_energy_saving(*a)),
+            format!("{:.1}%", 100.0 * summary.mean_extra_energy_saving(*a)),
+            format!("{:.2}%", 100.0 * summary.mean_qoe_degradation(*a)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("BOLA and MPC are context-blind like FESTIVE/BBA: without the vibration");
+    println!("and signal models they cannot reach the energy savings of Ours/Optimal.");
+}

@@ -1,0 +1,42 @@
+//! Ablation: sweeping the bandwidth-estimator window.
+//!
+//! Both FESTIVE and the online algorithm estimate bandwidth with the
+//! harmonic mean of the last k segment throughputs (k = 20 in the paper).
+//! Short windows react faster but overreact to fades; long windows are
+//! stable but stale.
+
+use ecas_bench::Table;
+use ecas_core::abr::{Festive, Online};
+use ecas_core::sim::Simulator;
+use ecas_core::trace::videos::EvalTraceSpec;
+use ecas_core::types::ladder::BitrateLadder;
+
+fn main() {
+    let session = EvalTraceSpec::table_v()[2].generate();
+    let sim = Simulator::paper(BitrateLadder::evaluation());
+    println!("estimator-window sweep on {}\n", session.meta().name);
+
+    let mut table = Table::new(vec![
+        "window",
+        "festive energy (J)",
+        "festive QoE",
+        "festive switches",
+        "ours energy (J)",
+        "ours QoE",
+        "ours switches",
+    ]);
+    for k in [3, 5, 10, 20, 40, 80] {
+        let festive = sim.run(&session, &mut Festive::with_window(k));
+        let ours = sim.run(&session, &mut Online::paper().estimator_window(k));
+        table.row(vec![
+            format!("{k}"),
+            format!("{:.0}", festive.total_energy.value()),
+            format!("{:.2}", festive.mean_qoe.value()),
+            format!("{}", festive.switches),
+            format!("{:.0}", ours.total_energy.value()),
+            format!("{:.2}", ours.mean_qoe.value()),
+            format!("{}", ours.switches),
+        ]);
+    }
+    println!("{}", table.render());
+}

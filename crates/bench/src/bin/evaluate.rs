@@ -1,0 +1,54 @@
+//! `evaluate` — run a scenario description (JSON) and emit a Markdown
+//! report.
+//!
+//! ```text
+//! evaluate                # run the built-in paper evaluation scenario
+//! evaluate scenario.json  # run a custom scenario
+//! evaluate --print-template  # print a template scenario JSON to edit
+//! ```
+
+use std::fs::File;
+use std::process::ExitCode;
+
+use ecas_core::{render_markdown, Scenario};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario = match args.first().map(String::as_str) {
+        None => Scenario::paper_evaluation(),
+        Some("--print-template") => {
+            let template = Scenario::paper_evaluation();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&template).expect("template serializes")
+            );
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => {
+            let file = match File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match serde_json::from_reader(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: bad scenario {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    eprintln!(
+        "running scenario {:?}: {} approaches, eta = {}",
+        scenario.name,
+        scenario.approaches.len(),
+        scenario.eta
+    );
+    let summary = scenario.run();
+    println!("{}", render_markdown(&scenario.name, &summary));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,45 @@
+//! Fig. 2(c): the QoE impairment due to vibration as a surface over
+//! (vibration level, bitrate), from the synthetic panel with the fitted
+//! power-law surface.
+
+use ecas_bench::Table;
+use ecas_core::qoe::impairment::VibrationImpairment;
+use ecas_core::qoe::study::{run_study_and_fit, SubjectiveStudy};
+use ecas_core::types::units::{Mbps, MetersPerSec2};
+
+fn main() {
+    let study = SubjectiveStudy::paper(42);
+    let (params, _, impairment_fit) = run_study_and_fit(&study).expect("paper design fits");
+    let surface = VibrationImpairment::new(params.impairment);
+
+    println!("Fig. 2(c): fitted QoE impairment surface I(v, r)\n");
+    let bitrates = [0.1, 0.375, 0.75, 1.5, 3.0, 5.8];
+    let mut header = vec!["vibration \\ bitrate".to_string()];
+    header.extend(bitrates.iter().map(|b| format!("{b} Mbps")));
+    let mut table = Table::new(header);
+    for v in [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] {
+        let mut row = vec![format!("{v:.0} m/s^2")];
+        for &r in &bitrates {
+            row.push(format!(
+                "{:.3}",
+                surface.at(MetersPerSec2::new(v), Mbps::new(r))
+            ));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "fit: rmse = {:.4}, r^2 = {:.4} over {} cells",
+        impairment_fit.rmse, impairment_fit.r_squared, impairment_fit.n
+    );
+    println!("\npaper anchor check (Section III-B):");
+    for (v, r, want) in [
+        (2.0, 1.5, 0.049),
+        (6.0, 1.5, 0.184),
+        (2.0, 5.8, 0.174),
+        (6.0, 5.8, 0.549),
+    ] {
+        let got = surface.at(MetersPerSec2::new(v), Mbps::new(r));
+        println!("  I({v}, {r}) = {got:.3}  (paper: {want})");
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 5: energy comparison of the five approaches over the Table V
+//! traces.
+//!
+//! * (a) total energy per trace per approach;
+//! * (b) whole-phone and extra-energy savings vs Youtube;
+//! * (c) base vs extra energy for trace 1.
+
+use ecas_bench::Table;
+use ecas_core::trace::videos::EvalTraceSpec;
+use ecas_core::{Approach, ComparisonSummary, ExperimentRunner};
+
+fn main() {
+    let sessions: Vec<_> = EvalTraceSpec::table_v()
+        .iter()
+        .map(EvalTraceSpec::generate)
+        .collect();
+    let runner = ExperimentRunner::paper();
+    let approaches = Approach::paper_set();
+    let summary = ComparisonSummary::evaluate(&runner, &sessions, &approaches);
+
+    println!("Fig. 5(a): total energy (J) per trace\n");
+    let mut header = vec!["trace".to_string()];
+    header.extend(approaches.iter().map(|a| a.label().to_string()));
+    let mut table = Table::new(header);
+    for t in &summary.traces {
+        let mut row = vec![t.trace.clone()];
+        for a in &approaches {
+            row.push(format!(
+                "{:.0}",
+                t.approach(*a).expect("present").energy.value()
+            ));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    println!("Fig. 5(b): mean energy saving vs Youtube\n");
+    let mut table = Table::new(vec![
+        "approach",
+        "whole-phone saving",
+        "extra-energy saving",
+    ]);
+    for a in &approaches[1..] {
+        table.row(vec![
+            a.label().to_string(),
+            format!("{:.1}%", 100.0 * summary.mean_energy_saving(*a)),
+            format!("{:.1}%", 100.0 * summary.mean_extra_energy_saving(*a)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(paper: whole-phone 7/4/33/36%, extra 15/8/77/80% for FESTIVE/BBA/Ours/Optimal)\n");
+
+    println!("Fig. 5(c): base vs extra energy for trace 1\n");
+    let t1 = &summary.traces[0];
+    let mut table = Table::new(vec!["approach", "base energy (J)", "extra energy (J)"]);
+    for a in &approaches {
+        let m = t1.approach(*a).expect("present");
+        table.row(vec![
+            a.label().to_string(),
+            format!("{:.0}", t1.base_energy.value()),
+            format!("{:.0}", m.extra_energy.value()),
+        ]);
+    }
+    println!("{}", table.render());
+}

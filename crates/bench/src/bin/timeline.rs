@@ -1,0 +1,81 @@
+//! `timeline` — print the full event timeline of one simulated session.
+//!
+//! ```text
+//! timeline <trace-id 1..5> <approach> [max-lines]
+//! ```
+//!
+//! Approaches: youtube, festive, bba, ours, optimal, bola, mpc, pid,
+//! rate, adaptive.
+
+use std::process::ExitCode;
+
+use ecas_core::trace::videos::EvalTraceSpec;
+use ecas_core::{Approach, ExperimentRunner};
+
+fn parse_approach(name: &str) -> Option<Approach> {
+    Some(match name {
+        "youtube" => Approach::Youtube,
+        "festive" => Approach::Festive,
+        "bba" => Approach::Bba,
+        "ours" => Approach::Ours,
+        "optimal" => Approach::Optimal,
+        "bola" => Approach::Bola,
+        "mpc" => Approach::Mpc,
+        "pid" => Approach::Pid,
+        "rate" => Approach::RateBased,
+        "adaptive" => Approach::AdaptiveEta,
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_id, approach, max_lines) = match args.as_slice() {
+        [id, approach] => (id, approach, 60usize),
+        [id, approach, max] => match max.parse() {
+            Ok(n) => (id, approach, n),
+            Err(_) => {
+                eprintln!("error: bad max-lines {max:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("usage: timeline <trace-id 1..5> <approach> [max-lines]");
+            return ExitCode::from(2);
+        }
+    };
+    let Ok(id) = trace_id.parse::<u8>() else {
+        eprintln!("error: bad trace id {trace_id:?}");
+        return ExitCode::FAILURE;
+    };
+    let Some(spec) = EvalTraceSpec::table_v().into_iter().find(|s| s.id == id) else {
+        eprintln!("error: no Table V trace {id}");
+        return ExitCode::FAILURE;
+    };
+    let Some(approach) = parse_approach(approach) else {
+        eprintln!("error: unknown approach {approach:?}");
+        return ExitCode::FAILURE;
+    };
+
+    let session = spec.generate();
+    let runner = ExperimentRunner::paper();
+    let mut controller = approach.controller(runner.simulator(), &session);
+    let (result, log) = runner.simulator().run_logged(&session, controller.as_mut());
+
+    println!(
+        "{} on {}: {:.0} J, QoE {:.2}, {} events\n",
+        approach.label(),
+        spec.name(),
+        result.total_energy.value(),
+        result.mean_qoe.value(),
+        log.len()
+    );
+    for (i, line) in log.render_timeline().lines().enumerate() {
+        if i >= max_lines {
+            println!("... ({} more events)", log.len() - max_lines);
+            break;
+        }
+        println!("{line}");
+    }
+    ExitCode::SUCCESS
+}

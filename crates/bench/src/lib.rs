@@ -1,0 +1,5 @@
+//! Shared helpers for the table/figure regeneration binaries.
+
+pub mod render;
+
+pub use render::Table;

@@ -1,0 +1,227 @@
+//! Experiment configuration and report rendering.
+//!
+//! [`Scenario`] is a serializable description of an experiment (which
+//! traces, which approaches, which η) that can be stored as JSON and
+//! replayed; [`render_markdown`] turns a [`ComparisonSummary`] into a
+//! paste-ready Markdown report.
+
+use ecas_trace::session::SessionTrace;
+use ecas_trace::synth::context::{Context, ContextSchedule};
+use ecas_trace::synth::SessionGenerator;
+use ecas_trace::videos::EvalTraceSpec;
+use ecas_types::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+use crate::approach::Approach;
+use crate::metrics::ComparisonSummary;
+use crate::runner::ExperimentRunner;
+
+/// Where a scenario's session traces come from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceSelection {
+    /// The five Table V traces.
+    TableV,
+    /// A subset of Table V by 1-based id.
+    TableVSubset(Vec<u8>),
+    /// Synthetic single-context sessions.
+    Synthetic {
+        /// The watching context.
+        context: Context,
+        /// Session length in seconds.
+        seconds: f64,
+        /// Number of sessions (seeds `base_seed..base_seed + count`).
+        count: u32,
+        /// First RNG seed.
+        base_seed: u64,
+    },
+}
+
+impl TraceSelection {
+    /// Materializes the session traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested Table V id does not exist.
+    #[must_use]
+    pub fn sessions(&self) -> Vec<SessionTrace> {
+        match self {
+            TraceSelection::TableV => EvalTraceSpec::table_v()
+                .iter()
+                .map(EvalTraceSpec::generate)
+                .collect(),
+            TraceSelection::TableVSubset(ids) => {
+                let specs = EvalTraceSpec::table_v();
+                ids.iter()
+                    .map(|id| {
+                        specs
+                            .iter()
+                            .find(|s| s.id == *id)
+                            .unwrap_or_else(|| panic!("no Table V trace with id {id}"))
+                            .generate()
+                    })
+                    .collect()
+            }
+            TraceSelection::Synthetic {
+                context,
+                seconds,
+                count,
+                base_seed,
+            } => (0..*count)
+                .map(|i| {
+                    SessionGenerator::new(
+                        format!("{context}-{i}"),
+                        ContextSchedule::constant(*context),
+                        Seconds::new(*seconds),
+                        base_seed + u64::from(i),
+                    )
+                    .generate()
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A complete, replayable experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// The traces to replay.
+    pub traces: TraceSelection,
+    /// The approaches to compare.
+    pub approaches: Vec<Approach>,
+    /// The Eq. (11) weighting factor.
+    pub eta: f64,
+}
+
+impl Scenario {
+    /// The paper's evaluation: Table V × the five approaches at η = 0.5.
+    #[must_use]
+    pub fn paper_evaluation() -> Self {
+        Self {
+            name: "paper-evaluation".to_string(),
+            traces: TraceSelection::TableV,
+            approaches: Approach::paper_set().to_vec(),
+            eta: 0.5,
+        }
+    }
+
+    /// Runs the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is outside `[0, 1]` or the approach list omits the
+    /// Youtube baseline (required by the comparison metrics).
+    #[must_use]
+    pub fn run(&self) -> ComparisonSummary {
+        let runner = ExperimentRunner::paper_with_eta(self.eta);
+        let sessions = self.traces.sessions();
+        ComparisonSummary::evaluate(&runner, &sessions, &self.approaches)
+    }
+}
+
+/// Renders a comparison summary as a Markdown report.
+#[must_use]
+pub fn render_markdown(title: &str, summary: &ComparisonSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n\n"));
+
+    out.push_str("## Energy per trace (J)\n\n| trace |");
+    let approaches: Vec<Approach> = summary
+        .traces
+        .first()
+        .map(|t| t.approaches.iter().map(|m| m.approach).collect())
+        .unwrap_or_default();
+    for a in &approaches {
+        out.push_str(&format!(" {} |", a.label()));
+    }
+    out.push_str("\n|---|");
+    for _ in &approaches {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for t in &summary.traces {
+        out.push_str(&format!("| {} |", t.trace));
+        for m in &t.approaches {
+            out.push_str(&format!(" {:.0} |", m.energy.value()));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("\n## Mean metrics\n\n");
+    out.push_str("| approach | QoE | energy saving | extra saving | QoE degradation |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for a in &approaches {
+        out.push_str(&format!(
+            "| {} | {:.2} | {:.1}% | {:.1}% | {:.2}% |\n",
+            a.label(),
+            summary.mean_qoe(*a),
+            100.0 * summary.mean_energy_saving(*a),
+            100.0 * summary.mean_extra_energy_saving(*a),
+            100.0 * summary.mean_qoe_degradation(*a),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_selection_generates_count_sessions() {
+        let sel = TraceSelection::Synthetic {
+            context: Context::Walking,
+            seconds: 30.0,
+            count: 3,
+            base_seed: 7,
+        };
+        let sessions = sel.sessions();
+        assert_eq!(sessions.len(), 3);
+        assert_eq!(sessions[0].meta().name, "walking-0");
+        assert_ne!(sessions[0], sessions[1]);
+    }
+
+    #[test]
+    fn table_v_subset_selects_by_id() {
+        let sel = TraceSelection::TableVSubset(vec![2, 5]);
+        let sessions = sel.sessions();
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].meta().name, "trace2");
+        assert_eq!(sessions[1].meta().name, "trace5");
+    }
+
+    #[test]
+    #[should_panic(expected = "no Table V trace")]
+    fn unknown_id_panics() {
+        let _ = TraceSelection::TableVSubset(vec![9]).sessions();
+    }
+
+    #[test]
+    fn scenario_roundtrips_through_json() {
+        let s = Scenario::paper_evaluation();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(s, serde_json::from_str::<Scenario>(&json).unwrap());
+    }
+
+    #[test]
+    fn scenario_runs_and_renders() {
+        let scenario = Scenario {
+            name: "smoke".to_string(),
+            traces: TraceSelection::Synthetic {
+                context: Context::MovingVehicle,
+                seconds: 40.0,
+                count: 1,
+                base_seed: 3,
+            },
+            approaches: vec![Approach::Youtube, Approach::Ours],
+            eta: 0.5,
+        };
+        let summary = scenario.run();
+        let md = render_markdown("smoke", &summary);
+        assert!(md.contains("# smoke"));
+        assert!(md.contains("| Youtube |") || md.contains(" Youtube |"));
+        assert!(md.contains("Ours"));
+        assert!(md.lines().count() > 8);
+    }
+}

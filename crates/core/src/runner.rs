@@ -1,0 +1,229 @@
+//! The experiment runner: approaches × traces, optionally in parallel.
+
+use ecas_sim::controller::FixedLevel;
+use ecas_sim::result::SessionResult;
+use ecas_sim::Simulator;
+use ecas_trace::session::SessionTrace;
+use ecas_types::ladder::{BitrateLadder, LevelIndex};
+use ecas_types::units::Joules;
+use parking_lot::Mutex;
+
+use crate::approach::Approach;
+
+/// Runs approaches over sessions with a shared simulator configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ecas_core::{Approach, ExperimentRunner};
+/// use ecas_core::trace::videos::EvalTraceSpec;
+///
+/// let sessions: Vec<_> = EvalTraceSpec::table_v()[..2]
+///     .iter()
+///     .map(|s| s.generate())
+///     .collect();
+/// let runner = ExperimentRunner::paper();
+/// let grid = runner.run_grid(&sessions, &Approach::paper_set());
+/// assert_eq!(grid.len(), 2 * 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentRunner {
+    simulator: Simulator,
+    eta: f64,
+}
+
+impl ExperimentRunner {
+    /// Creates a runner around an explicit simulator.
+    #[must_use]
+    pub fn new(simulator: Simulator, eta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&eta), "eta must be in [0, 1]");
+        Self { simulator, eta }
+    }
+
+    /// The paper's evaluation setup: 14-level ladder, τ = 2 s, B = 30 s,
+    /// η = 0.5.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(Simulator::paper(BitrateLadder::evaluation()), 0.5)
+    }
+
+    /// The paper setup with a custom `η` (Pareto sweeps).
+    #[must_use]
+    pub fn paper_with_eta(eta: f64) -> Self {
+        Self::new(Simulator::paper(BitrateLadder::evaluation()), eta)
+    }
+
+    /// The underlying simulator.
+    #[must_use]
+    pub fn simulator(&self) -> &Simulator {
+        &self.simulator
+    }
+
+    /// The Eq. (11) weighting factor in use.
+    #[must_use]
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Runs one approach on one session.
+    #[must_use]
+    pub fn run(&self, session: &SessionTrace, approach: &Approach) -> SessionResult {
+        let mut controller = approach.controller_with_eta(&self.simulator, session, self.eta);
+        self.simulator.run(session, controller.as_mut())
+    }
+
+    /// Runs every `(session, approach)` pair sequentially, returning
+    /// results in `sessions`-major order.
+    #[must_use]
+    pub fn run_grid(
+        &self,
+        sessions: &[SessionTrace],
+        approaches: &[Approach],
+    ) -> Vec<SessionResult> {
+        sessions
+            .iter()
+            .flat_map(|s| approaches.iter().map(move |a| self.run(s, a)))
+            .collect()
+    }
+
+    /// Runs every `(session, approach)` pair across worker threads,
+    /// returning results in the same order as [`Self::run_grid`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ecas_core::{Approach, ExperimentRunner};
+    /// use ecas_core::trace::videos::EvalTraceSpec;
+    ///
+    /// let sessions = vec![EvalTraceSpec::table_v()[0].generate()];
+    /// let runner = ExperimentRunner::paper();
+    /// let approaches = [Approach::Youtube, Approach::Ours];
+    /// let parallel = runner.run_grid_parallel(&sessions, &approaches);
+    /// assert_eq!(parallel, runner.run_grid(&sessions, &approaches));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    #[must_use]
+    pub fn run_grid_parallel(
+        &self,
+        sessions: &[SessionTrace],
+        approaches: &[Approach],
+    ) -> Vec<SessionResult> {
+        let jobs: Vec<(usize, &SessionTrace, &Approach)> = sessions
+            .iter()
+            .enumerate()
+            .flat_map(|(si, s)| {
+                approaches
+                    .iter()
+                    .enumerate()
+                    .map(move |(ai, a)| (si * approaches.len() + ai, s, a))
+            })
+            .collect();
+        let results: Mutex<Vec<Option<SessionResult>>> = Mutex::new(vec![None; jobs.len()]);
+        let next: Mutex<usize> = Mutex::new(0);
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(jobs.len().max(1));
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let idx = {
+                        let mut guard = next.lock();
+                        let idx = *guard;
+                        if idx >= jobs.len() {
+                            return;
+                        }
+                        *guard += 1;
+                        idx
+                    };
+                    let (slot, session, approach) = jobs[idx];
+                    let result = self.run(session, approach);
+                    results.lock()[slot] = Some(result);
+                });
+            }
+        })
+        .expect("experiment worker panicked");
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every job filled its slot"))
+            .collect()
+    }
+
+    /// The session's *base energy* (Fig. 5c): the energy of streaming
+    /// every segment at the lowest bitrate — the minimum possible
+    /// consumption, covering the screen plus minimal transmission and
+    /// processing.
+    #[must_use]
+    pub fn base_energy(&self, session: &SessionTrace) -> Joules {
+        let mut lowest = FixedLevel::new(LevelIndex::new(0));
+        self.simulator.run(session, &mut lowest).total_energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecas_trace::videos::EvalTraceSpec;
+
+    fn short_session() -> SessionTrace {
+        use ecas_trace::synth::context::{Context, ContextSchedule};
+        use ecas_trace::synth::SessionGenerator;
+        use ecas_types::units::Seconds;
+        SessionGenerator::new(
+            "core-test",
+            ContextSchedule::constant(Context::MovingVehicle),
+            Seconds::new(60.0),
+            21,
+        )
+        .generate()
+    }
+
+    #[test]
+    fn run_produces_labeled_results() {
+        let runner = ExperimentRunner::paper();
+        let s = short_session();
+        let r = runner.run(&s, &Approach::Festive);
+        assert_eq!(r.controller, "festive");
+        assert_eq!(r.trace, "core-test");
+    }
+
+    #[test]
+    fn grid_order_is_sessions_major() {
+        let runner = ExperimentRunner::paper();
+        let sessions = vec![short_session()];
+        let approaches = [Approach::Youtube, Approach::Bba];
+        let grid = runner.run_grid(&sessions, &approaches);
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].controller, "youtube");
+        assert_eq!(grid[1].controller, "bba");
+    }
+
+    #[test]
+    fn parallel_grid_matches_sequential() {
+        let runner = ExperimentRunner::paper();
+        let sessions = vec![short_session(), EvalTraceSpec::table_v()[0].generate()];
+        let approaches = [Approach::Youtube, Approach::Ours, Approach::Optimal];
+        let seq = runner.run_grid(&sessions, &approaches);
+        let par = runner.run_grid_parallel(&sessions, &approaches);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn base_energy_below_all_approaches() {
+        let runner = ExperimentRunner::paper();
+        let s = short_session();
+        let base = runner.base_energy(&s);
+        for a in Approach::paper_set() {
+            let r = runner.run(&s, &a);
+            assert!(
+                r.total_energy >= base,
+                "{} used less than base energy",
+                a.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Bandwidth estimation.
+//!
+//! DASH clients estimate the near-future downlink bandwidth from the
+//! download throughput of past segments. The paper (Section IV-B) uses the
+//! **harmonic mean of the past several segment throughputs**, following
+//! FESTIVE (its ref \[2\]), because the harmonic mean is robust to isolated
+//! spikes. This crate provides that estimator plus the standard
+//! alternatives used for ablations:
+//!
+//! * [`HarmonicMean`] — FESTIVE-style last-k harmonic mean (k = 20);
+//! * [`Ewma`] — exponentially weighted moving average;
+//! * [`SlidingPercentile`] — conservative percentile of a sliding window.
+//!
+//! All estimators implement [`BandwidthEstimator`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ecas_net::{BandwidthEstimator, HarmonicMean};
+//! use ecas_types::units::Mbps;
+//!
+//! let mut est = HarmonicMean::festive();
+//! for thr in [10.0, 12.0, 100.0, 11.0] {
+//!     est.observe(Mbps::new(thr));
+//! }
+//! // The 100 Mbps spike barely moves the harmonic mean.
+//! let e = est.estimate().unwrap();
+//! assert!(e.value() < 16.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use ecas_types::units::Mbps;
+
+/// A streaming estimator of the available downlink bandwidth.
+///
+/// Implementors consume one throughput observation per downloaded segment
+/// and produce the current estimate, or `None` before any observation.
+pub trait BandwidthEstimator {
+    /// Records the measured download throughput of one segment.
+    fn observe(&mut self, throughput: Mbps);
+
+    /// The current bandwidth estimate, or `None` with no observations.
+    fn estimate(&self) -> Option<Mbps>;
+
+    /// Forgets all past observations.
+    fn reset(&mut self);
+
+    /// Human-readable estimator name (for experiment reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Harmonic mean of the last `k` throughput observations (FESTIVE's
+/// estimator; the paper uses k = 20).
+///
+/// The harmonic mean underweights outliers on the high side, making the
+/// estimate robust to the short throughput spikes typical of cellular
+/// links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarmonicMean {
+    window: usize,
+    samples: VecDeque<f64>,
+}
+
+impl HarmonicMean {
+    /// Creates an estimator over the last `window` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            samples: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// The FESTIVE configuration: last 20 observations.
+    #[must_use]
+    pub fn festive() -> Self {
+        Self::new(20)
+    }
+
+    /// Number of retained observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observations are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+impl BandwidthEstimator for HarmonicMean {
+    fn observe(&mut self, throughput: Mbps) {
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        // Guard against zero observations: clamp to a tiny positive floor
+        // so the harmonic mean stays defined.
+        self.samples.push_back(throughput.value().max(1e-6));
+    }
+
+    fn estimate(&self) -> Option<Mbps> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let denom: f64 = self.samples.iter().map(|v| 1.0 / v).sum();
+        Some(Mbps::new(self.samples.len() as f64 / denom))
+    }
+
+    fn reset(&mut self) {
+        self.samples.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "harmonic-mean"
+    }
+}
+
+/// Exponentially weighted moving average with smoothing factor `alpha`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]` (larger
+    /// alpha reacts faster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Self { alpha, state: None }
+    }
+}
+
+impl BandwidthEstimator for Ewma {
+    fn observe(&mut self, throughput: Mbps) {
+        let x = throughput.value();
+        self.state = Some(match self.state {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        });
+    }
+
+    fn estimate(&self) -> Option<Mbps> {
+        self.state.map(Mbps::new)
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// A conservative percentile (e.g. p25) over the last `window`
+/// observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingPercentile {
+    window: usize,
+    percentile: f64,
+    samples: VecDeque<f64>,
+}
+
+impl SlidingPercentile {
+    /// Creates an estimator returning the `percentile` (in `[0, 1]`) of
+    /// the last `window` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `percentile` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(window: usize, percentile: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(
+            (0.0..=1.0).contains(&percentile),
+            "percentile must be in [0, 1], got {percentile}"
+        );
+        Self {
+            window,
+            percentile,
+            samples: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// A conservative configuration: 25th percentile of the last 20.
+    #[must_use]
+    pub fn conservative() -> Self {
+        Self::new(20, 0.25)
+    }
+}
+
+impl BandwidthEstimator for SlidingPercentile {
+    fn observe(&mut self, throughput: Mbps) {
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(throughput.value());
+    }
+
+    fn estimate(&self) -> Option<Mbps> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.samples.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let rank = (self.percentile * (sorted.len() - 1) as f64).round() as usize;
+        Some(Mbps::new(sorted[rank]))
+    }
+
+    fn reset(&mut self) {
+        self.samples.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "sliding-percentile"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_of_constant_is_constant() {
+        let mut h = HarmonicMean::new(5);
+        for _ in 0..10 {
+            h.observe(Mbps::new(8.0));
+        }
+        assert!((h.estimate().unwrap().value() - 8.0).abs() < 1e-12);
+        assert_eq!(h.len(), 5, "window caps retention");
+    }
+
+    #[test]
+    fn harmonic_mean_known_value() {
+        let mut h = HarmonicMean::new(3);
+        for v in [2.0, 4.0, 4.0] {
+            h.observe(Mbps::new(v));
+        }
+        // 3 / (1/2 + 1/4 + 1/4) = 3.
+        assert!((h.estimate().unwrap().value() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_resists_spikes_better_than_arithmetic() {
+        let mut h = HarmonicMean::new(10);
+        let vals = [10.0, 10.0, 10.0, 10.0, 200.0];
+        for v in vals {
+            h.observe(Mbps::new(v));
+        }
+        let arith: f64 = vals.iter().sum::<f64>() / vals.len() as f64; // 48
+        let est = h.estimate().unwrap().value();
+        assert!(est < 13.0, "harmonic {est} stays near the typical value");
+        assert!(est < arith);
+    }
+
+    #[test]
+    fn harmonic_mean_tolerates_zero_observation() {
+        let mut h = HarmonicMean::new(5);
+        h.observe(Mbps::zero());
+        h.observe(Mbps::new(10.0));
+        let est = h.estimate().unwrap().value();
+        assert!(est.is_finite());
+        assert!(est < 1.0, "a zero observation drags the estimate down");
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut e = Ewma::new(0.3);
+        for _ in 0..100 {
+            e.observe(Mbps::new(5.0));
+        }
+        assert!((e.estimate().unwrap().value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_first_observation_is_estimate() {
+        let mut e = Ewma::new(0.1);
+        e.observe(Mbps::new(7.0));
+        assert_eq!(e.estimate(), Some(Mbps::new(7.0)));
+    }
+
+    #[test]
+    fn percentile_is_conservative() {
+        let mut p = SlidingPercentile::conservative();
+        for v in [5.0, 6.0, 7.0, 8.0, 100.0] {
+            p.observe(Mbps::new(v));
+        }
+        let est = p.estimate().unwrap().value();
+        assert!(est <= 6.0, "p25 of the window is low: {est}");
+    }
+
+    #[test]
+    fn empty_estimators_return_none_and_reset_works() {
+        let mut h = HarmonicMean::festive();
+        let mut e = Ewma::new(0.5);
+        let mut p = SlidingPercentile::conservative();
+        assert!(h.estimate().is_none());
+        assert!(e.estimate().is_none());
+        assert!(p.estimate().is_none());
+        h.observe(Mbps::new(1.0));
+        e.observe(Mbps::new(1.0));
+        p.observe(Mbps::new(1.0));
+        h.reset();
+        e.reset();
+        p.reset();
+        assert!(h.estimate().is_none());
+        assert!(e.estimate().is_none());
+        assert!(p.estimate().is_none());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            HarmonicMean::festive().name(),
+            Ewma::new(0.5).name(),
+            SlidingPercentile::conservative().name(),
+        ];
+        assert_eq!(
+            names.len(),
+            names.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = HarmonicMean::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_alpha_rejected() {
+        let _ = Ewma::new(1.5);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for bandwidth estimators.
+
+use ecas_net::{BandwidthEstimator, Ewma, HarmonicMean, SlidingPercentile};
+use ecas_types::units::Mbps;
+use proptest::prelude::*;
+
+fn throughputs() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..100.0, 1..100)
+}
+
+proptest! {
+    #[test]
+    fn harmonic_mean_le_arithmetic_mean(vals in throughputs()) {
+        let mut h = HarmonicMean::new(vals.len());
+        for &v in &vals {
+            h.observe(Mbps::new(v));
+        }
+        let arith = vals.iter().sum::<f64>() / vals.len() as f64;
+        let est = h.estimate().unwrap().value();
+        prop_assert!(est <= arith + 1e-9, "harmonic {est} > arithmetic {arith}");
+    }
+
+    #[test]
+    fn harmonic_mean_within_min_max(vals in throughputs()) {
+        let mut h = HarmonicMean::new(vals.len());
+        for &v in &vals {
+            h.observe(Mbps::new(v));
+        }
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let est = h.estimate().unwrap().value();
+        prop_assert!(est >= min - 1e-9 && est <= max + 1e-9);
+    }
+
+    #[test]
+    fn harmonic_mean_scale_equivariant(vals in throughputs(), scale in 0.1f64..10.0) {
+        let run = |s: f64| {
+            let mut h = HarmonicMean::new(vals.len());
+            for &v in &vals {
+                h.observe(Mbps::new(v * s));
+            }
+            h.estimate().unwrap().value()
+        };
+        let base = run(1.0);
+        let scaled = run(scale);
+        prop_assert!((scaled / base - scale).abs() / scale < 1e-9);
+    }
+
+    #[test]
+    fn ewma_within_min_max(vals in throughputs(), alpha in 0.01f64..1.0) {
+        let mut e = Ewma::new(alpha);
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &v in &vals {
+            e.observe(Mbps::new(v));
+            let est = e.estimate().unwrap().value();
+            prop_assert!(est >= min - 1e-9 && est <= max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn percentile_returns_an_observed_value(vals in throughputs(), pct in 0.0f64..1.0) {
+        let mut p = SlidingPercentile::new(vals.len(), pct);
+        for &v in &vals {
+            p.observe(Mbps::new(v));
+        }
+        let est = p.estimate().unwrap().value();
+        prop_assert!(vals.iter().any(|&v| (v - est).abs() < 1e-12));
+    }
+
+    #[test]
+    fn window_truncation_only_uses_recent(vals in proptest::collection::vec(1.0f64..50.0, 30..60)) {
+        // Estimates from a windowed estimator must equal estimates computed
+        // from only the last `window` values.
+        let window = 10;
+        let mut full = HarmonicMean::new(window);
+        for &v in &vals {
+            full.observe(Mbps::new(v));
+        }
+        let mut tail_only = HarmonicMean::new(window);
+        for &v in &vals[vals.len() - window..] {
+            tail_only.observe(Mbps::new(v));
+        }
+        prop_assert_eq!(full.estimate(), tail_only.estimate());
+    }
+}

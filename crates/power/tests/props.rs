@@ -1,0 +1,100 @@
+//! Property-based tests for power-model invariants.
+
+use ecas_power::model::PowerModel;
+use ecas_power::task::{TaskConditions, TaskEnergyModel};
+use ecas_types::units::{Dbm, Mbps, MegaBytes, Seconds};
+use proptest::prelude::*;
+
+fn signal() -> impl Strategy<Value = f64> {
+    -125.0f64..-70.0
+}
+
+fn throughput() -> impl Strategy<Value = f64> {
+    0.2f64..45.0
+}
+
+fn bitrate() -> impl Strategy<Value = f64> {
+    0.1f64..5.8
+}
+
+proptest! {
+    #[test]
+    fn radio_power_monotone_in_weakness(s1 in signal(), s2 in signal(), thr in throughput()) {
+        let m = PowerModel::paper();
+        let (strong, weak) = if s1 >= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(
+            m.radio_power(Dbm::new(weak), Mbps::new(thr))
+                >= m.radio_power(Dbm::new(strong), Mbps::new(thr))
+        );
+    }
+
+    #[test]
+    fn radio_power_monotone_in_throughput(s in signal(), t1 in throughput(), t2 in throughput()) {
+        let m = PowerModel::paper();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(
+            m.radio_power(Dbm::new(s), Mbps::new(lo))
+                <= m.radio_power(Dbm::new(s), Mbps::new(hi))
+        );
+    }
+
+    #[test]
+    fn bulk_energy_monotone_in_weakness(s1 in signal(), s2 in signal(), mb in 1.0f64..500.0) {
+        let m = PowerModel::paper();
+        let (strong, weak) = if s1 >= s2 { (s1, s2) } else { (s2, s1) };
+        let e_strong = m.bulk_download_energy(MegaBytes::new(mb), Dbm::new(strong));
+        let e_weak = m.bulk_download_energy(MegaBytes::new(mb), Dbm::new(weak));
+        prop_assert!(e_weak >= e_strong);
+    }
+
+    #[test]
+    fn bulk_energy_linear_in_data(s in signal(), mb in 1.0f64..300.0) {
+        let m = PowerModel::paper();
+        let e1 = m.bulk_download_energy(MegaBytes::new(mb), Dbm::new(s)).value();
+        let e2 = m.bulk_download_energy(MegaBytes::new(2.0 * mb), Dbm::new(s)).value();
+        prop_assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_energy_monotone_in_bitrate(s in signal(), thr in throughput(), r1 in bitrate(), r2 in bitrate()) {
+        let m = TaskEnergyModel::new(PowerModel::paper(), Seconds::new(2.0));
+        let c = TaskConditions {
+            throughput: Mbps::new(thr),
+            signal: Dbm::new(s),
+            buffer_ahead: Seconds::new(30.0),
+        };
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(m.energy(Mbps::new(lo), c).total <= m.energy(Mbps::new(hi), c).total);
+    }
+
+    #[test]
+    fn task_energy_components_sum(s in signal(), thr in throughput(), r in bitrate(), ahead in 0.1f64..30.0) {
+        let m = TaskEnergyModel::new(PowerModel::paper(), Seconds::new(2.0));
+        let c = TaskConditions {
+            throughput: Mbps::new(thr),
+            signal: Dbm::new(s),
+            buffer_ahead: Seconds::new(ahead),
+        };
+        let e = m.energy(Mbps::new(r), c);
+        prop_assert!((e.total.value() - e.download.value() - e.playback.value()).abs() < 1e-9);
+        prop_assert!(e.rebuffer.value() >= 0.0);
+    }
+
+    #[test]
+    fn rebuffer_happens_iff_download_outlasts_buffer(thr in throughput(), r in bitrate(), ahead in 0.1f64..30.0) {
+        let m = TaskEnergyModel::new(PowerModel::paper(), Seconds::new(2.0));
+        let c = TaskConditions {
+            throughput: Mbps::new(thr),
+            signal: Dbm::new(-95.0),
+            buffer_ahead: Seconds::new(ahead),
+        };
+        let size = Mbps::new(r).data_over(Seconds::new(2.0));
+        let t_dl = size.transfer_time(Mbps::new(thr));
+        let e = m.energy(Mbps::new(r), c);
+        if t_dl.value() <= ahead {
+            prop_assert_eq!(e.rebuffer, Seconds::zero());
+        } else {
+            prop_assert!((e.rebuffer.value() - (t_dl.value() - ahead)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The per-task QoE model (Eq. 1).
+
+use ecas_types::units::{Mbps, MetersPerSec2, QoeScore, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::impairment::VibrationImpairment;
+use crate::params::QoeParams;
+use crate::quality::OriginalQuality;
+
+/// The combined QoE model of Eq. (1):
+///
+/// ```text
+/// Q(t_i) = q0(r_i) − I(v_i, r_i) − μ·|q0(r_i) − q0(r_{i−1})| − λ·T_rebuf(i)
+/// ```
+///
+/// clamped to `[0, 5]`.
+///
+/// # Examples
+///
+/// ```
+/// use ecas_qoe::model::QoeModel;
+/// use ecas_types::units::{Mbps, MetersPerSec2, Seconds};
+///
+/// let model = QoeModel::paper();
+/// // A 2-second stall costs QoE.
+/// let smooth = model.segment_qoe(Mbps::new(3.0), MetersPerSec2::new(1.0), None, Seconds::zero());
+/// let stalled = model.segment_qoe(Mbps::new(3.0), MetersPerSec2::new(1.0), None, Seconds::new(2.0));
+/// assert!(smooth > stalled);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(from = "QoeParams", into = "QoeParams")]
+pub struct QoeModel {
+    params: QoeParams,
+    quality: OriginalQuality,
+    impairment: VibrationImpairment,
+}
+
+impl From<QoeParams> for QoeModel {
+    fn from(params: QoeParams) -> Self {
+        Self::new(params)
+    }
+}
+
+impl From<QoeModel> for QoeParams {
+    fn from(model: QoeModel) -> Self {
+        model.params
+    }
+}
+
+impl QoeModel {
+    /// Builds the model from a parameter bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`QoeParams::is_valid`].
+    #[must_use]
+    pub fn new(params: QoeParams) -> Self {
+        assert!(params.is_valid(), "invalid QoE parameters");
+        Self {
+            params,
+            quality: OriginalQuality::new(params.quality),
+            impairment: VibrationImpairment::new(params.impairment),
+        }
+    }
+
+    /// The reference model (our Table III parameters).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(QoeParams::paper())
+    }
+
+    /// The underlying parameters.
+    #[must_use]
+    pub fn params(&self) -> &QoeParams {
+        &self.params
+    }
+
+    /// The original-quality component.
+    #[must_use]
+    pub fn quality(&self) -> &OriginalQuality {
+        &self.quality
+    }
+
+    /// The vibration-impairment component.
+    #[must_use]
+    pub fn impairment(&self) -> &VibrationImpairment {
+        &self.impairment
+    }
+
+    /// Context-aware quality without switch/rebuffer penalties:
+    /// `q0(r) − I(v, r)`, clamped to `[0, 5]`.
+    #[must_use]
+    pub fn context_quality(&self, bitrate: Mbps, vibration: MetersPerSec2) -> QoeScore {
+        self.quality
+            .at(bitrate)
+            .impaired_by(self.impairment.at(vibration, bitrate))
+    }
+
+    /// Full Eq. (1) QoE for one segment (task).
+    ///
+    /// `prev_bitrate` is the bitrate of the previous segment (`None` for
+    /// the first segment, in which case no switch penalty applies);
+    /// `rebuffer` is the stall time attributed to this task.
+    #[must_use]
+    pub fn segment_qoe(
+        &self,
+        bitrate: Mbps,
+        vibration: MetersPerSec2,
+        prev_bitrate: Option<Mbps>,
+        rebuffer: Seconds,
+    ) -> QoeScore {
+        let base = self.quality.at(bitrate).value();
+        let impairment = self.impairment.at(vibration, bitrate);
+        let switch = match prev_bitrate {
+            Some(prev) => {
+                self.params.penalty.switch_mu * (base - self.quality.at(prev).value()).abs()
+            }
+            None => 0.0,
+        };
+        let stall = self.params.penalty.rebuffer_lambda * rebuffer.value();
+        QoeScore::new((base - impairment - switch - stall).clamp(0.0, 5.0))
+    }
+
+    /// The QoE of streaming the whole session at the ladder maximum with no
+    /// switches and no stalls — the normalizer `Q_max` of Eq. (11).
+    #[must_use]
+    pub fn max_segment_qoe(&self, max_bitrate: Mbps, vibration: MetersPerSec2) -> QoeScore {
+        self.context_quality(max_bitrate, vibration)
+    }
+}
+
+impl Default for QoeModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> QoeModel {
+        QoeModel::paper()
+    }
+
+    #[test]
+    fn vibration_reduces_quality_more_at_high_bitrate() {
+        let model = m();
+        let v = MetersPerSec2::new(6.0);
+        let none = MetersPerSec2::new(0.0);
+        let hurt_high = model.context_quality(Mbps::new(5.8), none).value()
+            - model.context_quality(Mbps::new(5.8), v).value();
+        let hurt_low = model.context_quality(Mbps::new(0.375), none).value()
+            - model.context_quality(Mbps::new(0.375), v).value();
+        assert!(hurt_high > 3.0 * hurt_low, "{hurt_high} vs {hurt_low}");
+    }
+
+    #[test]
+    fn four_percent_drop_on_vehicle() {
+        // Section II: dropping 1080p -> 480p degrades QoE ~4 % on a vehicle
+        // (vs 12 % in a room).
+        let model = m();
+        let v = MetersPerSec2::new(6.0);
+        let hi = model.context_quality(Mbps::new(5.8), v).value();
+        let lo = model.context_quality(Mbps::new(1.5), v).value();
+        let drop = (hi - lo) / hi;
+        assert!(
+            (0.02..=0.07).contains(&drop),
+            "vehicle drop = {drop}, want ~0.04"
+        );
+    }
+
+    #[test]
+    fn switch_penalty_applies_only_with_previous_segment() {
+        let model = m();
+        let v = MetersPerSec2::new(1.0);
+        let no_prev = model.segment_qoe(Mbps::new(3.0), v, None, Seconds::zero());
+        let same_prev = model.segment_qoe(Mbps::new(3.0), v, Some(Mbps::new(3.0)), Seconds::zero());
+        let big_jump = model.segment_qoe(Mbps::new(3.0), v, Some(Mbps::new(0.1)), Seconds::zero());
+        assert_eq!(no_prev, same_prev);
+        assert!(big_jump < same_prev);
+    }
+
+    #[test]
+    fn rebuffer_penalty_is_linear_in_stall_time() {
+        let model = m();
+        let v = MetersPerSec2::new(1.0);
+        let q0 = model
+            .segment_qoe(Mbps::new(3.0), v, None, Seconds::zero())
+            .value();
+        let q1 = model
+            .segment_qoe(Mbps::new(3.0), v, None, Seconds::new(1.0))
+            .value();
+        let q2 = model
+            .segment_qoe(Mbps::new(3.0), v, None, Seconds::new(2.0))
+            .value();
+        let lambda = model.params().penalty.rebuffer_lambda;
+        assert!((q0 - q1 - lambda).abs() < 1e-9);
+        assert!((q1 - q2 - lambda).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qoe_never_escapes_mos_bounds() {
+        let model = m();
+        for r in [0.1, 1.5, 5.8] {
+            for v in [0.0, 3.0, 7.0] {
+                for stall in [0.0, 5.0, 100.0] {
+                    let q = model
+                        .segment_qoe(
+                            Mbps::new(r),
+                            MetersPerSec2::new(v),
+                            Some(Mbps::new(5.8)),
+                            Seconds::new(stall),
+                        )
+                        .value();
+                    assert!((0.0..=5.0).contains(&q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_components() {
+        let model = m();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: QoeModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(model, back);
+        assert_eq!(
+            model.context_quality(Mbps::new(2.0), MetersPerSec2::new(3.0)),
+            back.context_quality(Mbps::new(2.0), MetersPerSec2::new(3.0))
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for session-QoE aggregation invariants.
+
+use ecas_qoe::aggregate::{mean, percentile, recency_weighted, worst, SessionQoe};
+use proptest::prelude::*;
+
+fn qoe_values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..5.0, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn ordering_worst_le_p10_le_mean(values in qoe_values()) {
+        let q = SessionQoe::of(&values).unwrap();
+        prop_assert!(q.worst <= q.p10 + 1e-12);
+        // (p10 vs mean has no universal ordering for skewed data.)
+        // All aggregates live within the observed range.
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(q.mean <= max + 1e-12);
+        prop_assert!(q.recency <= max + 1e-12);
+        prop_assert!(q.recency >= q.worst - 1e-12);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p(values in qoe_values(), p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(
+            percentile(&values, lo).unwrap() <= percentile(&values, hi).unwrap() + 1e-12
+        );
+    }
+
+    #[test]
+    fn constant_sessions_have_equal_aggregates(v in 0.0f64..5.0, n in 1usize..100) {
+        let values = vec![v; n];
+        let q = SessionQoe::of(&values).unwrap();
+        prop_assert!((q.mean - v).abs() < 1e-12);
+        prop_assert!((q.worst - v).abs() < 1e-12);
+        prop_assert!((q.p10 - v).abs() < 1e-12);
+        prop_assert!((q.recency - v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recency_weighting_is_shift_sensitive_mean_is_not(values in qoe_values()) {
+        prop_assume!(values.len() >= 3);
+        let mut reversed = values.clone();
+        reversed.reverse();
+        // Mean is permutation-invariant.
+        prop_assert!((mean(&values).unwrap() - mean(&reversed).unwrap()).abs() < 1e-9);
+        // Worst too.
+        prop_assert!((worst(&values).unwrap() - worst(&reversed).unwrap()).abs() < 1e-12);
+        // Recency weighting generally is not (unless the sequence is
+        // palindromic); we only check it stays within bounds.
+        let r = recency_weighted(&values, 0.8).unwrap();
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(r >= min - 1e-12 && r <= max + 1e-12);
+    }
+
+    #[test]
+    fn recency_decay_one_is_mean(values in qoe_values()) {
+        prop_assert!(
+            (recency_weighted(&values, 1.0).unwrap() - mean(&values).unwrap()).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for QoE model invariants.
+
+use ecas_qoe::fit::{fit_impairment, fit_quality};
+use ecas_qoe::impairment::VibrationImpairment;
+use ecas_qoe::model::QoeModel;
+use ecas_qoe::params::{ImpairmentParams, QualityParams};
+use ecas_qoe::quality::OriginalQuality;
+use ecas_types::units::{Mbps, MetersPerSec2, Seconds};
+use proptest::prelude::*;
+
+fn bitrate() -> impl Strategy<Value = f64> {
+    0.05f64..10.0
+}
+
+fn vibration() -> impl Strategy<Value = f64> {
+    0.0f64..8.0
+}
+
+proptest! {
+    #[test]
+    fn quality_is_monotone_and_bounded(r1 in bitrate(), r2 in bitrate()) {
+        let q0 = OriginalQuality::paper();
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let q_lo = q0.at(Mbps::new(lo)).value();
+        let q_hi = q0.at(Mbps::new(hi)).value();
+        prop_assert!(q_lo <= q_hi + 1e-12);
+        prop_assert!((1.0..=5.0).contains(&q_lo));
+        prop_assert!((1.0..=5.0).contains(&q_hi));
+    }
+
+    #[test]
+    fn impairment_monotone_in_both_arguments(v1 in vibration(), v2 in vibration(), r1 in bitrate(), r2 in bitrate()) {
+        let imp = VibrationImpairment::paper();
+        let (vlo, vhi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        let (rlo, rhi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(
+            imp.at(MetersPerSec2::new(vlo), Mbps::new(rlo))
+                <= imp.at(MetersPerSec2::new(vhi), Mbps::new(rhi)) + 1e-12
+        );
+    }
+
+    #[test]
+    fn context_quality_never_exceeds_original(r in bitrate(), v in vibration()) {
+        let model = QoeModel::paper();
+        let ctx = model.context_quality(Mbps::new(r), MetersPerSec2::new(v));
+        let orig = model.quality().at(Mbps::new(r));
+        prop_assert!(ctx <= orig);
+    }
+
+    #[test]
+    fn segment_qoe_decreases_with_stall(r in bitrate(), v in vibration(), s1 in 0.0f64..10.0, s2 in 0.0f64..10.0) {
+        let model = QoeModel::paper();
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let q_short = model.segment_qoe(Mbps::new(r), MetersPerSec2::new(v), None, Seconds::new(lo));
+        let q_long = model.segment_qoe(Mbps::new(r), MetersPerSec2::new(v), None, Seconds::new(hi));
+        prop_assert!(q_long <= q_short);
+    }
+
+    #[test]
+    fn switch_penalty_symmetric(r1 in bitrate(), r2 in bitrate(), v in vibration()) {
+        // |q0(a) - q0(b)| is symmetric, so the penalty term is the same in
+        // both directions; the difference of the two segment scores equals
+        // the difference of the context qualities.
+        let model = QoeModel::paper();
+        let a = Mbps::new(r1);
+        let b = Mbps::new(r2);
+        let vib = MetersPerSec2::new(v);
+        let q_ab = model.segment_qoe(a, vib, Some(b), Seconds::zero()).value();
+        let q_ba = model.segment_qoe(b, vib, Some(a), Seconds::zero()).value();
+        let ctx_a = model.context_quality(a, vib).value();
+        let ctx_b = model.context_quality(b, vib).value();
+        // Only check when no clamping interfered.
+        if q_ab > 0.0 && q_ba > 0.0 && q_ab < 5.0 && q_ba < 5.0 {
+            prop_assert!(((q_ab - q_ba) - (ctx_a - ctx_b)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quality_fit_roundtrips_random_valid_params(
+        q_lo in 1.3f64..2.5,
+        q_hi in 4.2f64..4.85,
+        p in 0.08f64..0.4,
+        headroom in 0.05f64..0.15,
+    ) {
+        // Construct parameters that pin q0(0.1) = q_lo and q0(5.8) = q_hi,
+        // guaranteeing a non-degenerate curve over the ladder.
+        let q_max = q_hi + headroom;
+        let b = ((q_max - q_lo) / (q_max - q_hi)).ln()
+            / (5.8f64.powf(p) - 0.1f64.powf(p));
+        let a = (q_max - q_lo) * (b * 0.1f64.powf(p)).exp();
+        let truth = QualityParams { q_max, a, b, p };
+        prop_assume!(truth.is_valid());
+        let model = OriginalQuality::new(truth);
+        let data: Vec<(Mbps, f64)> = [0.1, 0.2, 0.375, 0.55, 0.75, 1.0, 1.5, 2.3, 3.0, 4.3, 5.8]
+            .iter()
+            .map(|&r| (Mbps::new(r), model.at(Mbps::new(r)).value()))
+            .collect();
+        let (_, fit) = fit_quality(&data).unwrap();
+        prop_assert!(fit.rmse < 0.05, "rmse {}", fit.rmse);
+    }
+
+    #[test]
+    fn impairment_fit_roundtrips_random_valid_params(
+        k in 0.001f64..0.1,
+        p in 0.5f64..1.5,
+        q in 0.3f64..1.2,
+    ) {
+        let truth = ImpairmentParams { k, p, q };
+        let model = VibrationImpairment::new(truth);
+        let mut data = Vec::new();
+        for &v in &[0.5, 1.0, 2.0, 4.0, 6.0] {
+            for &r in &[0.375, 1.5, 3.0, 5.8] {
+                data.push((
+                    MetersPerSec2::new(v),
+                    Mbps::new(r),
+                    model.at(MetersPerSec2::new(v), Mbps::new(r)),
+                ));
+            }
+        }
+        let (got, _) = fit_impairment(&data).unwrap();
+        prop_assert!((got.k - k).abs() / k < 1e-6);
+        prop_assert!((got.p - p).abs() < 1e-6);
+        prop_assert!((got.q - q).abs() < 1e-6);
+    }
+}
+
+proptest! {
+    #[test]
+    fn model_outputs_are_always_finite_and_in_range(
+        r in 0.0f64..100.0,
+        v in 0.0f64..20.0,
+        prev in proptest::option::of(0.0f64..100.0),
+        stall in 0.0f64..1000.0,
+    ) {
+        let model = QoeModel::paper();
+        let q = model.segment_qoe(
+            Mbps::new(r),
+            MetersPerSec2::new(v),
+            prev.map(Mbps::new),
+            Seconds::new(stall),
+        );
+        prop_assert!(q.value().is_finite());
+        prop_assert!((0.0..=5.0).contains(&q.value()));
+        let ctx = model.context_quality(Mbps::new(r), MetersPerSec2::new(v));
+        prop_assert!((0.0..=5.0).contains(&ctx.value()));
+    }
+
+    #[test]
+    fn enormous_stalls_floor_the_score(r in 0.1f64..5.8, v in 0.0f64..7.0) {
+        let model = QoeModel::paper();
+        let q = model.segment_qoe(
+            Mbps::new(r),
+            MetersPerSec2::new(v),
+            None,
+            Seconds::new(1e6),
+        );
+        prop_assert_eq!(q.value(), 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! First-order IIR filters.
+//!
+//! Gravity shows up in the accelerometer magnitude as a DC component near
+//! 9.81 m/s²; the vibration statistic of Eq. (5) concerns only the
+//! *fluctuation* around it. A first-order high-pass with a cutoff well
+//! below the vibration band (0.05–0.5 Hz) removes the DC/drift component
+//! without touching road or engine vibration (≳ 1 Hz). The matching
+//! low-pass is provided for denoising and for resampling pipelines.
+
+/// A first-order IIR low-pass filter (exponential smoothing).
+///
+/// Discretized as `y[n] = y[n-1] + alpha * (x[n] - y[n-1])` with
+/// `alpha = dt / (rc + dt)`, `rc = 1 / (2*pi*cutoff)`.
+///
+/// # Examples
+///
+/// ```
+/// use ecas_sensors::filter::LowPass;
+///
+/// let mut lp = LowPass::new(1.0, 0.01); // 1 Hz cutoff, 100 Hz sampling
+/// let mut last = 0.0;
+/// for _ in 0..1000 {
+///     last = lp.apply(1.0);
+/// }
+/// assert!((last - 1.0).abs() < 1e-3, "converges to the DC input");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowPass {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl LowPass {
+    /// Creates a low-pass with the given cutoff frequency (Hz) and sample
+    /// interval `dt` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff_hz` or `dt` is not positive.
+    #[must_use]
+    pub fn new(cutoff_hz: f64, dt: f64) -> Self {
+        assert!(cutoff_hz > 0.0, "cutoff must be positive");
+        assert!(dt > 0.0, "sample interval must be positive");
+        let rc = 1.0 / (2.0 * std::f64::consts::PI * cutoff_hz);
+        Self {
+            alpha: dt / (rc + dt),
+            state: None,
+        }
+    }
+
+    /// Feeds one input sample and returns the filtered output.
+    pub fn apply(&mut self, x: f64) -> f64 {
+        let y = match self.state {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.state = Some(y);
+        y
+    }
+
+    /// Resets the filter to its initial (empty) state.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+
+    /// The smoothing coefficient `alpha` in `(0, 1]`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// A first-order IIR high-pass filter.
+///
+/// Discretized as `y[n] = beta * (y[n-1] + x[n] - x[n-1])` with
+/// `beta = rc / (rc + dt)`, `rc = 1 / (2*pi*cutoff)`. The first output is
+/// zero (the DC of a constant input is removed immediately).
+///
+/// # Examples
+///
+/// ```
+/// use ecas_sensors::filter::HighPass;
+///
+/// let mut hp = HighPass::new(0.2, 0.02); // 0.2 Hz cutoff, 50 Hz sampling
+/// let mut last = f64::MAX;
+/// for _ in 0..5000 {
+///     last = hp.apply(9.81); // constant gravity input
+/// }
+/// assert!(last.abs() < 1e-6, "DC component is rejected");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HighPass {
+    beta: f64,
+    prev_input: Option<f64>,
+    prev_output: f64,
+}
+
+impl HighPass {
+    /// Creates a high-pass with the given cutoff frequency (Hz) and sample
+    /// interval `dt` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff_hz` or `dt` is not positive.
+    #[must_use]
+    pub fn new(cutoff_hz: f64, dt: f64) -> Self {
+        assert!(cutoff_hz > 0.0, "cutoff must be positive");
+        assert!(dt > 0.0, "sample interval must be positive");
+        let rc = 1.0 / (2.0 * std::f64::consts::PI * cutoff_hz);
+        Self {
+            beta: rc / (rc + dt),
+            prev_input: None,
+            prev_output: 0.0,
+        }
+    }
+
+    /// Feeds one input sample and returns the filtered output.
+    pub fn apply(&mut self, x: f64) -> f64 {
+        let y = match self.prev_input {
+            None => 0.0,
+            Some(prev_x) => self.beta * (self.prev_output + x - prev_x),
+        };
+        self.prev_input = Some(x);
+        self.prev_output = y;
+        y
+    }
+
+    /// Resets the filter to its initial (empty) state.
+    pub fn reset(&mut self) {
+        self.prev_input = None;
+        self.prev_output = 0.0;
+    }
+
+    /// The feedback coefficient `beta` in `(0, 1)`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_tracks_dc() {
+        let mut lp = LowPass::new(2.0, 0.01);
+        let mut y = 0.0;
+        for _ in 0..2000 {
+            y = lp.apply(5.0);
+        }
+        assert!((y - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lowpass_first_sample_passthrough() {
+        let mut lp = LowPass::new(2.0, 0.01);
+        assert_eq!(lp.apply(3.0), 3.0);
+    }
+
+    #[test]
+    fn highpass_rejects_dc() {
+        let mut hp = HighPass::new(0.2, 0.02);
+        let mut y = f64::MAX;
+        for _ in 0..10_000 {
+            y = hp.apply(9.81);
+        }
+        assert!(y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn highpass_passes_fast_oscillation() {
+        // A 5 Hz square wave through a 0.2 Hz high-pass keeps most of its
+        // amplitude.
+        let mut hp = HighPass::new(0.2, 0.02);
+        let mut peak: f64 = 0.0;
+        for n in 0..1000 {
+            let t = n as f64 * 0.02;
+            let x = if (t * 5.0).fract() < 0.5 { 1.0 } else { -1.0 };
+            let y = hp.apply(9.81 + x);
+            if n > 100 {
+                peak = peak.max(y.abs());
+            }
+        }
+        assert!(peak > 0.8, "peak {peak} should be close to input amplitude");
+    }
+
+    #[test]
+    fn reset_restores_initial_behaviour() {
+        let mut hp = HighPass::new(0.2, 0.02);
+        hp.apply(1.0);
+        hp.apply(2.0);
+        hp.reset();
+        assert_eq!(hp.apply(42.0), 0.0, "first post-reset output is zero");
+
+        let mut lp = LowPass::new(1.0, 0.01);
+        lp.apply(1.0);
+        lp.reset();
+        assert_eq!(lp.apply(7.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff must be positive")]
+    fn zero_cutoff_rejected() {
+        let _ = LowPass::new(0.0, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample interval must be positive")]
+    fn zero_dt_rejected() {
+        let _ = HighPass::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn coefficients_in_valid_range() {
+        let lp = LowPass::new(1.0, 0.02);
+        assert!(lp.alpha() > 0.0 && lp.alpha() <= 1.0);
+        let hp = HighPass::new(1.0, 0.02);
+        assert!(hp.beta() > 0.0 && hp.beta() < 1.0);
+    }
+}

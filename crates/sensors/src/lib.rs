@@ -1,0 +1,53 @@
+//! Accelerometer signal processing and vibration-level estimation.
+//!
+//! The paper quantifies the watching context with a *vibration level*
+//! computed from the smartphone's accelerometer (its Eq. 5). This crate
+//! implements that pipeline:
+//!
+//! 1. [`filter`] — first-order IIR filters (high-pass to remove the gravity
+//!    DC component, low-pass for denoising);
+//! 2. [`window`] — sliding time windows with streaming mean/RMS/std;
+//! 3. [`vibration`] — the Eq. 5 statistic itself, in an offline batch form
+//!    ([`vibration::vibration_level`]) and the online estimator used by the
+//!    bitrate selector ([`vibration::VibrationEstimator`]), which follows
+//!    Section IV-B: the level is estimated over the trailing
+//!    `0.2 * W` seconds with `W = 30 s`;
+//! 4. [`resample`] — linear-interpolation resampling of accelerometer
+//!    series onto a uniform rate.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecas_sensors::vibration::VibrationEstimator;
+//! use ecas_trace::synth::accel::AccelTraceGenerator;
+//! use ecas_trace::synth::context::{Context, ContextSchedule};
+//! use ecas_types::units::Seconds;
+//!
+//! let accel = AccelTraceGenerator::new(
+//!     ContextSchedule::constant(Context::MovingVehicle),
+//!     Seconds::new(60.0),
+//!     1,
+//! )
+//! .generate();
+//!
+//! let mut estimator = VibrationEstimator::new();
+//! for sample in accel.iter() {
+//!     estimator.push(*sample);
+//! }
+//! let level = estimator.level().unwrap();
+//! assert!(level.value() > 3.0, "vehicle context vibrates hard");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod filter;
+pub mod resample;
+pub mod vibration;
+pub mod window;
+
+pub use activity::{classify, ActivityClassifier};
+pub use filter::{HighPass, LowPass};
+pub use vibration::{vibration_level, VibrationEstimator};
+pub use window::SlidingWindow;

@@ -1,0 +1,152 @@
+//! Resampling accelerometer series onto a uniform rate.
+//!
+//! Real sensor streams arrive with jittery timestamps; filters and windowed
+//! statistics want uniform sampling. [`resample_accel`] linearly
+//! interpolates each axis onto a regular grid covering the input span.
+
+use ecas_trace::sample::AccelSample;
+use ecas_trace::series::TimeSeries;
+use ecas_types::units::Seconds;
+
+/// Linearly interpolates `series` onto a uniform grid at `rate_hz`.
+///
+/// The output grid starts at the first input timestamp and ends at or
+/// before the last. Each axis is interpolated independently.
+///
+/// # Panics
+///
+/// Panics if `rate_hz` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use ecas_sensors::resample::resample_accel;
+/// use ecas_trace::sample::AccelSample;
+/// use ecas_trace::series::TimeSeries;
+/// use ecas_types::units::Seconds;
+///
+/// let jittery = TimeSeries::new(vec![
+///     AccelSample::new(Seconds::new(0.0), 0.0, 0.0, 9.0),
+///     AccelSample::new(Seconds::new(0.9), 0.0, 0.0, 10.0),
+///     AccelSample::new(Seconds::new(2.0), 0.0, 0.0, 11.0),
+/// ])
+/// .unwrap();
+/// let uniform = resample_accel(&jittery, 10.0);
+/// assert_eq!(uniform.len(), 21);
+/// assert!((uniform.sample_rate().unwrap() - 10.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn resample_accel(series: &TimeSeries<AccelSample>, rate_hz: f64) -> TimeSeries<AccelSample> {
+    assert!(rate_hz > 0.0, "resample rate must be positive");
+    let input = series.as_slice();
+    let t0 = input[0].time.value();
+    let t1 = input[input.len() - 1].time.value();
+    let dt = 1.0 / rate_hz;
+    let steps = ((t1 - t0) / dt).floor() as usize + 1;
+
+    let mut out = Vec::with_capacity(steps);
+    let mut cursor = 0usize;
+    for k in 0..steps {
+        let t = t0 + k as f64 * dt;
+        // Advance the cursor so input[cursor] <= t < input[cursor + 1].
+        while cursor + 1 < input.len() && input[cursor + 1].time.value() <= t {
+            cursor += 1;
+        }
+        let sample = if cursor + 1 >= input.len() {
+            let last = &input[input.len() - 1];
+            AccelSample::new(Seconds::new(t), last.x, last.y, last.z)
+        } else {
+            let a = &input[cursor];
+            let b = &input[cursor + 1];
+            let ta = a.time.value();
+            let tb = b.time.value();
+            let w = if tb > ta { (t - ta) / (tb - ta) } else { 0.0 };
+            AccelSample::new(
+                Seconds::new(t),
+                a.x + (b.x - a.x) * w,
+                a.y + (b.y - a.y) * w,
+                a.z + (b.z - a.z) * w,
+            )
+        };
+        out.push(sample);
+    }
+    TimeSeries::new(out).expect("uniform grid is time ordered")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(points: &[(f64, f64)]) -> TimeSeries<AccelSample> {
+        TimeSeries::new(
+            points
+                .iter()
+                .map(|&(t, z)| AccelSample::new(Seconds::new(t), 0.0, 0.0, z))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_on_already_uniform_input() {
+        let s = mk(&[(0.0, 1.0), (0.5, 2.0), (1.0, 3.0)]);
+        let r = resample_accel(&s, 2.0);
+        assert_eq!(r.len(), 3);
+        for (a, b) in s.iter().zip(r.iter()) {
+            assert!((a.z - b.z).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interpolates_between_samples() {
+        let s = mk(&[(0.0, 0.0), (1.0, 10.0)]);
+        let r = resample_accel(&s, 4.0);
+        let zs: Vec<f64> = r.iter().map(|s| s.z).collect();
+        assert_eq!(r.len(), 5);
+        for (i, z) in zs.iter().enumerate() {
+            assert!((z - 2.5 * i as f64).abs() < 1e-12, "z[{i}] = {z}");
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_timestamps() {
+        let s = mk(&[(0.0, 1.0), (0.0, 2.0), (1.0, 3.0)]);
+        let r = resample_accel(&s, 2.0);
+        assert_eq!(r.len(), 3);
+        // At t=0 with duplicate timestamps the earlier value wins via w=0.
+        assert!(r.first().z >= 1.0);
+    }
+
+    #[test]
+    fn single_sample_input() {
+        let s = mk(&[(2.0, 5.0)]);
+        let r = resample_accel(&s, 50.0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.first().z, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        let s = mk(&[(0.0, 1.0)]);
+        let _ = resample_accel(&s, 0.0);
+    }
+
+    #[test]
+    fn preserves_mean_of_smooth_signal() {
+        // Resampling a slow sine should preserve its mean closely.
+        let s = TimeSeries::new(
+            (0..500)
+                .map(|i| {
+                    let t = i as f64 * 0.021; // slightly jittery base rate
+                    AccelSample::new(Seconds::new(t), 0.0, 0.0, 9.81 + (t * 0.7).sin())
+                })
+                .collect(),
+        )
+        .unwrap();
+        let r = resample_accel(&s, 50.0);
+        let mean_in: f64 = s.iter().map(|x| x.z).sum::<f64>() / s.len() as f64;
+        let mean_out: f64 = r.iter().map(|x| x.z).sum::<f64>() / r.len() as f64;
+        assert!((mean_in - mean_out).abs() < 0.02);
+    }
+}

@@ -1,0 +1,236 @@
+//! Sliding time windows with streaming statistics.
+
+use std::collections::VecDeque;
+
+use ecas_types::units::Seconds;
+
+/// A time-bounded sliding window over `(time, value)` pairs.
+///
+/// Samples older than `span` relative to the most recent sample are evicted
+/// on insertion. Mean, RMS and standard deviation are computed over the
+/// retained samples.
+///
+/// # Examples
+///
+/// ```
+/// use ecas_sensors::window::SlidingWindow;
+/// use ecas_types::units::Seconds;
+///
+/// let mut w = SlidingWindow::new(Seconds::new(5.0));
+/// for i in 0..10 {
+///     w.push(Seconds::new(i as f64), i as f64);
+/// }
+/// // Only samples within the trailing 5 s remain (times 4..=9).
+/// assert_eq!(w.len(), 6);
+/// assert!((w.mean().unwrap() - 6.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingWindow {
+    span: Seconds,
+    samples: VecDeque<(Seconds, f64)>,
+}
+
+impl SlidingWindow {
+    /// Creates a window retaining the trailing `span` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    #[must_use]
+    pub fn new(span: Seconds) -> Self {
+        assert!(!span.is_zero(), "window span must be positive");
+        Self {
+            span,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Inserts a sample and evicts samples older than the window span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or `time` precedes the most recent sample.
+    pub fn push(&mut self, time: Seconds, value: f64) {
+        assert!(!value.is_nan(), "window values must not be NaN");
+        if let Some(&(last, _)) = self.samples.back() {
+            assert!(
+                time >= last,
+                "window samples must arrive in time order ({time} < {last})"
+            );
+        }
+        self.samples.push_back((time, value));
+        let cutoff = time.saturating_sub(self.span);
+        while let Some(&(t, _)) = self.samples.front() {
+            if t < cutoff {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of retained samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The configured window span.
+    #[must_use]
+    pub fn span(&self) -> Seconds {
+        self.span
+    }
+
+    /// Mean of the retained values, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Root-mean-square of the retained values, or `None` when empty.
+    #[must_use]
+    pub fn rms(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let ms = self.samples.iter().map(|&(_, v)| v * v).sum::<f64>() / self.samples.len() as f64;
+        Some(ms.sqrt())
+    }
+
+    /// Population standard deviation of the retained values, or `None`
+    /// when empty.
+    #[must_use]
+    pub fn std(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .samples
+            .iter()
+            .map(|&(_, v)| (v - mean).powi(2))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Retains only samples within `sub_span` of the most recent sample and
+    /// returns their population standard deviation (used for the paper's
+    /// `0.2 * W` online estimation window), or `None` when empty.
+    #[must_use]
+    pub fn std_over_trailing(&self, sub_span: Seconds) -> Option<f64> {
+        let &(latest, _) = self.samples.back()?;
+        let cutoff = latest.saturating_sub(sub_span);
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|&&(t, _)| t >= cutoff)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            return None;
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Clears all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Iterates over the retained `(time, value)` pairs, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(Seconds, f64)> {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_keeps_trailing_span() {
+        let mut w = SlidingWindow::new(Seconds::new(2.0));
+        for i in 0..10 {
+            w.push(Seconds::new(i as f64), 1.0);
+        }
+        // Samples at t = 7, 8, 9 are within [9-2, 9].
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn statistics_on_known_values() {
+        let mut w = SlidingWindow::new(Seconds::new(100.0));
+        for (i, v) in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().enumerate() {
+            w.push(Seconds::new(i as f64), *v);
+        }
+        assert!((w.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((w.std().unwrap() - 2.0).abs() < 1e-12);
+        let expected_rms = (29.0f64).sqrt();
+        assert!((w.rms().unwrap() - expected_rms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_returns_none() {
+        let w = SlidingWindow::new(Seconds::new(1.0));
+        assert!(w.mean().is_none());
+        assert!(w.rms().is_none());
+        assert!(w.std().is_none());
+        assert!(w.std_over_trailing(Seconds::new(1.0)).is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn std_over_trailing_uses_subwindow() {
+        let mut w = SlidingWindow::new(Seconds::new(30.0));
+        // First 20 s: constant; last 10 s: alternating.
+        for i in 0..300 {
+            let t = i as f64 * 0.1;
+            let v = if t < 20.0 {
+                5.0
+            } else if i % 2 == 0 {
+                4.0
+            } else {
+                6.0
+            };
+            w.push(Seconds::new(t), v);
+        }
+        // The full window has low-ish std; the trailing 6 s has std 1.0.
+        // The trailing window holds 61 samples (31 of one value, 30 of the
+        // other), so the std is close to but not exactly 1.
+        let trailing = w.std_over_trailing(Seconds::new(6.0)).unwrap();
+        assert!((trailing - 1.0).abs() < 0.01, "trailing std {trailing}");
+        assert!(w.std().unwrap() < trailing);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn rejects_time_regressions() {
+        let mut w = SlidingWindow::new(Seconds::new(1.0));
+        w.push(Seconds::new(1.0), 0.0);
+        w.push(Seconds::new(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan_values() {
+        let mut w = SlidingWindow::new(Seconds::new(1.0));
+        w.push(Seconds::zero(), f64::NAN);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut w = SlidingWindow::new(Seconds::new(1.0));
+        w.push(Seconds::zero(), 1.0);
+        w.clear();
+        assert!(w.is_empty());
+    }
+}

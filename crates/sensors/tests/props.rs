@@ -1,0 +1,110 @@
+//! Property-based tests for sensor-processing invariants.
+
+use ecas_sensors::filter::{HighPass, LowPass};
+use ecas_sensors::vibration::{vibration_level, VibrationEstimator};
+use ecas_sensors::window::SlidingWindow;
+use ecas_trace::sample::AccelSample;
+use ecas_types::units::Seconds;
+use proptest::prelude::*;
+
+fn axis() -> impl Strategy<Value = f64> {
+    -20.0f64..20.0
+}
+
+proptest! {
+    #[test]
+    fn vibration_is_nonnegative(xs in proptest::collection::vec((axis(), axis(), axis()), 1..200)) {
+        let samples: Vec<AccelSample> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, z))| AccelSample::new(Seconds::new(i as f64 * 0.02), x, y, z))
+            .collect();
+        let v = vibration_level(&samples).unwrap();
+        prop_assert!(v.value() >= 0.0);
+    }
+
+    #[test]
+    fn vibration_is_rotation_invariant_for_constant_input(x in axis(), y in axis(), z in axis(), n in 2usize..100) {
+        // Any constant vector (any orientation) has zero vibration.
+        let samples: Vec<AccelSample> = (0..n)
+            .map(|i| AccelSample::new(Seconds::new(i as f64 * 0.02), x, y, z))
+            .collect();
+        let v = vibration_level(&samples).unwrap();
+        prop_assert!(v.value() < 1e-9);
+    }
+
+    #[test]
+    // amp stays below g/2 so that 9.81 + 2*amp*sin never crosses zero and
+    // the magnitude remains exactly linear in amp.
+    fn vibration_scales_linearly_with_magnitude_fluctuation(amp in 0.1f64..4.5, n in 50usize..300) {
+        // Magnitude 9.81 + amp*sin: std is amp/sqrt(2) asymptotically, and
+        // doubling amp doubles the statistic.
+        let mk = |a: f64| -> f64 {
+            let samples: Vec<AccelSample> = (0..n)
+                .map(|i| {
+                    let t = i as f64 * 0.02;
+                    AccelSample::new(Seconds::new(t), 0.0, 0.0, 9.81 + a * (t * 31.0).sin())
+                })
+                .collect();
+            vibration_level(&samples).unwrap().value()
+        };
+        let v1 = mk(amp);
+        let v2 = mk(2.0 * amp);
+        prop_assert!(v1 > 0.0);
+        prop_assert!((v2 / v1 - 2.0).abs() < 1e-6, "ratio {}", v2 / v1);
+    }
+
+    #[test]
+    fn estimator_level_matches_batch_on_short_streams(vals in proptest::collection::vec(-3.0f64..3.0, 10..100)) {
+        // If the whole stream fits in the trailing 0.2*W span, the online
+        // estimate equals the batch statistic.
+        let samples: Vec<AccelSample> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| AccelSample::new(Seconds::new(i as f64 * 0.02), 0.0, 0.0, 9.81 + d))
+            .collect();
+        let batch = vibration_level(&samples).unwrap();
+        let mut est = VibrationEstimator::new();
+        for s in &samples {
+            est.push(*s);
+        }
+        let online = est.level().unwrap();
+        prop_assert!((batch.value() - online.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowpass_output_bounded_by_input_range(xs in proptest::collection::vec(-10.0f64..10.0, 1..300), cutoff in 0.1f64..10.0) {
+        let mut lp = LowPass::new(cutoff, 0.02);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &x in &xs {
+            let y = lp.apply(x);
+            prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "y {y} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn highpass_of_constant_is_zero_after_first(c in -50.0f64..50.0, cutoff in 0.05f64..5.0) {
+        let mut hp = HighPass::new(cutoff, 0.02);
+        let _ = hp.apply(c);
+        for _ in 0..100 {
+            let y = hp.apply(c);
+            prop_assert!(y.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn window_never_retains_stale_samples(times in proptest::collection::vec(0.0f64..100.0, 1..100), span in 0.5f64..20.0) {
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut w = SlidingWindow::new(Seconds::new(span));
+        for &t in &sorted {
+            w.push(Seconds::new(t), 1.0);
+        }
+        let newest = *sorted.last().unwrap();
+        for &(t, _) in w.iter() {
+            prop_assert!(newest - t.value() <= span + 1e-9);
+        }
+        prop_assert!(!w.is_empty());
+    }
+}

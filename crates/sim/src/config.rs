@@ -1,0 +1,109 @@
+//! Player configuration.
+
+use ecas_types::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// DASH player configuration.
+///
+/// The paper's evaluation uses 2-second segments and a buffer threshold
+/// `B = 30 s` (Section V-A); playback starts once two segments are
+/// buffered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlayerConfig {
+    /// Segment duration `τ`.
+    pub segment_duration: Seconds,
+    /// Buffer threshold `B`: the player idles when more than `B − τ`
+    /// seconds are buffered.
+    pub buffer_threshold: Seconds,
+    /// Playback begins once this much video is buffered.
+    pub startup_threshold: Seconds,
+    /// Model the LTE RRC tail after each download burst.
+    pub radio_tail: bool,
+}
+
+impl PlayerConfig {
+    /// The paper's configuration (τ = 2 s, B = 30 s, 4 s startup).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            segment_duration: Seconds::new(2.0),
+            buffer_threshold: Seconds::new(30.0),
+            startup_threshold: Seconds::new(4.0),
+            radio_tail: true,
+        }
+    }
+
+    /// Validates the configuration.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        !self.segment_duration.is_zero()
+            && self.buffer_threshold >= self.segment_duration
+            && self.startup_threshold >= self.segment_duration
+            && self.startup_threshold <= self.buffer_threshold
+    }
+
+    /// Returns a copy with a different buffer threshold (for sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting configuration is invalid.
+    #[must_use]
+    pub fn with_buffer_threshold(mut self, threshold: Seconds) -> Self {
+        self.buffer_threshold = threshold;
+        assert!(self.is_valid(), "invalid player config after override");
+        self
+    }
+
+    /// Returns a copy with a different segment duration (for sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting configuration is invalid.
+    #[must_use]
+    pub fn with_segment_duration(mut self, duration: Seconds) -> Self {
+        self.segment_duration = duration;
+        assert!(self.is_valid(), "invalid player config after override");
+        self
+    }
+}
+
+impl Default for PlayerConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_v() {
+        let c = PlayerConfig::paper();
+        assert_eq!(c.segment_duration, Seconds::new(2.0));
+        assert_eq!(c.buffer_threshold, Seconds::new(30.0));
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let mut c = PlayerConfig::paper();
+        c.buffer_threshold = Seconds::new(1.0);
+        assert!(!c.is_valid());
+        let mut c = PlayerConfig::paper();
+        c.startup_threshold = Seconds::new(60.0);
+        assert!(!c.is_valid());
+    }
+
+    #[test]
+    fn overrides_validate() {
+        let c = PlayerConfig::paper().with_buffer_threshold(Seconds::new(10.0));
+        assert_eq!(c.buffer_threshold, Seconds::new(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid player config")]
+    fn bad_override_panics() {
+        let _ = PlayerConfig::paper().with_buffer_threshold(Seconds::new(0.5));
+    }
+}

@@ -1,0 +1,50 @@
+//! Trace-driven DASH streaming simulator.
+//!
+//! This crate is the evaluation substrate of the reproduction: a
+//! discrete-event model of a DASH player that downloads segments over a
+//! recorded network trace, manages a playback buffer with startup and
+//! rebuffering dynamics, asks a pluggable [`controller::BitrateController`]
+//! for each segment's bitrate, and accounts energy (screen, decode, radio,
+//! radio tail) and QoE per task.
+//!
+//! The player model follows the standard trace-driven ABR methodology
+//! (sequential segment downloads, throughput as a step function of time,
+//! buffer capped at the threshold `B`, stall when the buffer drains):
+//!
+//! 1. before each download, if the buffer is fuller than `B − τ` the
+//!    player idles until there is room for one more segment;
+//! 2. the controller picks a level given the decision context (buffer,
+//!    throughput history, signal, online vibration estimate);
+//! 3. the segment downloads through the trace; playback drains the buffer
+//!    concurrently and stalls at zero;
+//! 4. playback begins once the startup threshold is buffered.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecas_sim::{controller::FixedLevel, PlayerConfig, Simulator};
+//! use ecas_trace::videos::EvalTraceSpec;
+//! use ecas_types::ladder::BitrateLadder;
+//!
+//! let session = EvalTraceSpec::table_v()[0].generate();
+//! let sim = Simulator::paper(BitrateLadder::evaluation());
+//! let mut controller = FixedLevel::highest();
+//! let result = sim.run(&session, &mut controller);
+//! assert!(result.total_energy.value() > 0.0);
+//! assert!((result.played.value() - session.meta().video_length.value()).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod controller;
+pub mod events;
+pub mod player;
+pub mod result;
+
+pub use config::PlayerConfig;
+pub use controller::{BitrateController, Decision, DecisionContext, ThroughputObservation};
+pub use events::{EventLog, SessionEvent};
+pub use player::Simulator;
+pub use result::{EnergyBreakdown, SessionResult, TaskRecord};

@@ -1,0 +1,238 @@
+//! Simulation outputs: per-task records and session-level metrics.
+
+use ecas_types::ids::TaskId;
+use ecas_types::ladder::LevelIndex;
+use ecas_types::units::{Dbm, Joules, Mbps, MegaBytes, MetersPerSec2, QoeScore, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Everything recorded about one task (one segment download).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The task identifier (equal to the segment index).
+    pub task: TaskId,
+    /// The chosen ladder level.
+    pub level: LevelIndex,
+    /// The chosen encoding bitrate.
+    pub bitrate: Mbps,
+    /// Segment size at the chosen bitrate.
+    pub size: MegaBytes,
+    /// Wall-clock start of the download.
+    pub download_start: Seconds,
+    /// Wall-clock end of the download.
+    pub download_end: Seconds,
+    /// Average throughput achieved over the download.
+    pub throughput: Mbps,
+    /// Average signal strength over the download.
+    pub signal: Dbm,
+    /// Vibration estimate at decision time (zero before sensor warm-up).
+    pub vibration: MetersPerSec2,
+    /// Stall time that occurred while waiting for this segment.
+    pub rebuffer: Seconds,
+    /// Radio energy of this download (excluding tail).
+    pub radio_energy: Joules,
+    /// Eq. (1) QoE of the task.
+    pub qoe: QoeScore,
+}
+
+/// Energy decomposition of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Screen energy over the whole session.
+    pub screen: Joules,
+    /// Decode/render energy while playing.
+    pub decode: Joules,
+    /// Radio energy during downloads.
+    pub radio: Joules,
+    /// Radio tail energy after bursts.
+    pub tail: Joules,
+}
+
+impl EnergyBreakdown {
+    /// Total of all components.
+    #[must_use]
+    pub fn total(&self) -> Joules {
+        self.screen + self.decode + self.radio + self.tail
+    }
+}
+
+/// The outcome of simulating one session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionResult {
+    /// Name of the controller that produced this session.
+    pub controller: String,
+    /// Name of the trace the session ran against.
+    pub trace: String,
+    /// Per-task records in task order.
+    pub tasks: Vec<TaskRecord>,
+    /// Energy decomposition.
+    pub energy: EnergyBreakdown,
+    /// Total energy (equals `energy.total()`).
+    pub total_energy: Joules,
+    /// Mean per-task QoE (Eq. 1 averaged over tasks).
+    pub mean_qoe: QoeScore,
+    /// Total stall time across the session.
+    pub total_rebuffer: Seconds,
+    /// Time from session start to first frame.
+    pub startup_delay: Seconds,
+    /// Number of bitrate switches between consecutive segments.
+    pub switches: usize,
+    /// Seconds of video actually played.
+    pub played: Seconds,
+    /// Wall-clock duration of the session.
+    pub wall_time: Seconds,
+    /// Total bytes downloaded.
+    pub downloaded: MegaBytes,
+}
+
+impl SessionResult {
+    /// Mean bitrate over tasks (unweighted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no tasks.
+    #[must_use]
+    pub fn mean_bitrate(&self) -> Mbps {
+        assert!(!self.tasks.is_empty(), "session has no tasks");
+        let sum: f64 = self.tasks.iter().map(|t| t.bitrate.value()).sum();
+        Mbps::new(sum / self.tasks.len() as f64)
+    }
+
+    /// Fraction of wall-clock time spent stalled.
+    #[must_use]
+    pub fn rebuffer_ratio(&self) -> f64 {
+        if self.wall_time.is_zero() {
+            return 0.0;
+        }
+        self.total_rebuffer / self.wall_time
+    }
+
+    /// Per-task QoE values in task order.
+    #[must_use]
+    pub fn qoe_series(&self) -> Vec<f64> {
+        self.tasks.iter().map(|t| t.qoe.value()).collect()
+    }
+
+    /// Histogram of chosen levels: `(level, task count)` sorted by level.
+    #[must_use]
+    pub fn level_histogram(&self) -> Vec<(LevelIndex, usize)> {
+        let mut counts: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
+        for t in &self.tasks {
+            *counts.entry(t.level.value()).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(level, n)| (LevelIndex::new(level), n))
+            .collect()
+    }
+
+    /// Seconds of video played at each level, sorted by level (tasks all
+    /// contribute one segment duration inferred from the records).
+    #[must_use]
+    pub fn seconds_at_level(&self, segment_duration: Seconds) -> Vec<(LevelIndex, Seconds)> {
+        self.level_histogram()
+            .into_iter()
+            .map(|(level, n)| (level, segment_duration * n as f64))
+            .collect()
+    }
+
+    /// Total radio energy summed over the per-task records (excludes the
+    /// tail component tracked in [`EnergyBreakdown::tail`]).
+    #[must_use]
+    pub fn task_radio_energy(&self) -> Joules {
+        self.tasks.iter().map(|t| t.radio_energy).sum()
+    }
+
+    /// Mean download duty cycle: fraction of wall-clock time the radio
+    /// spent actively downloading.
+    #[must_use]
+    pub fn radio_duty_cycle(&self) -> f64 {
+        if self.wall_time.is_zero() {
+            return 0.0;
+        }
+        let active: f64 = self
+            .tasks
+            .iter()
+            .map(|t| t.download_end.value() - t.download_start.value())
+            .sum();
+        active / self.wall_time.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = EnergyBreakdown {
+            screen: Joules::new(10.0),
+            decode: Joules::new(2.0),
+            radio: Joules::new(5.0),
+            tail: Joules::new(1.0),
+        };
+        assert_eq!(b.total(), Joules::new(18.0));
+    }
+
+    #[test]
+    fn default_breakdown_is_zero() {
+        assert_eq!(EnergyBreakdown::default().total(), Joules::zero());
+    }
+}
+
+#[cfg(test)]
+mod analysis_tests {
+    use super::*;
+    use crate::controller::FixedLevel;
+    use crate::Simulator;
+    use ecas_trace::synth::context::{Context, ContextSchedule};
+    use ecas_trace::synth::SessionGenerator;
+    use ecas_types::ladder::BitrateLadder;
+
+    fn result() -> SessionResult {
+        let session = SessionGenerator::new(
+            "an",
+            ContextSchedule::constant(Context::Walking),
+            Seconds::new(40.0),
+            3,
+        )
+        .generate();
+        Simulator::paper(BitrateLadder::evaluation()).run(&session, &mut FixedLevel::highest())
+    }
+
+    #[test]
+    fn level_histogram_covers_all_tasks() {
+        let r = result();
+        let hist = r.level_histogram();
+        assert_eq!(hist.len(), 1, "fixed controller uses one level");
+        assert_eq!(hist[0].1, r.tasks.len());
+    }
+
+    #[test]
+    fn seconds_at_level_scale_with_segment_duration() {
+        let r = result();
+        let secs = r.seconds_at_level(Seconds::new(2.0));
+        let total: f64 = secs.iter().map(|(_, s)| s.value()).sum();
+        assert!((total - r.played.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_radio_energy_below_breakdown_radio() {
+        let r = result();
+        // Breakdown radio equals the task sum (both exclude the tail).
+        assert!(
+            (r.task_radio_energy().value() - r.energy.radio.value()).abs() < 1e-6,
+            "{} vs {}",
+            r.task_radio_energy(),
+            r.energy.radio
+        );
+    }
+
+    #[test]
+    fn duty_cycle_is_a_fraction() {
+        let r = result();
+        let d = r.radio_duty_cycle();
+        assert!((0.0..=1.0).contains(&d), "duty cycle {d}");
+        assert!(d > 0.1, "5.8 Mbps over a walking link keeps the radio busy");
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration tests for the session event log.
+
+use ecas_sim::controller::FixedLevel;
+use ecas_sim::{SessionEvent, Simulator};
+use ecas_trace::synth::context::{Context, ContextSchedule};
+use ecas_trace::synth::SessionGenerator;
+use ecas_types::ladder::{BitrateLadder, LevelIndex};
+use ecas_types::units::Seconds;
+
+fn session(ctx: Context, secs: f64, seed: u64) -> ecas_trace::session::SessionTrace {
+    SessionGenerator::new(
+        "ev",
+        ContextSchedule::constant(ctx),
+        Seconds::new(secs),
+        seed,
+    )
+    .generate()
+}
+
+#[test]
+fn logged_run_matches_unlogged_run() {
+    let s = session(Context::Walking, 60.0, 1);
+    let sim = Simulator::paper(BitrateLadder::evaluation());
+    let plain = sim.run(&s, &mut FixedLevel::highest());
+    let (logged, _) = sim.run_logged(&s, &mut FixedLevel::highest());
+    assert_eq!(plain, logged);
+}
+
+#[test]
+fn log_contains_one_decision_and_download_per_segment() {
+    let s = session(Context::QuietRoom, 40.0, 2);
+    let sim = Simulator::paper(BitrateLadder::evaluation());
+    let (result, log) = sim.run_logged(&s, &mut FixedLevel::highest());
+    let decisions = log.decisions();
+    assert_eq!(decisions.len(), result.tasks.len());
+    let dl_starts = log
+        .iter()
+        .filter(|e| matches!(e, SessionEvent::DownloadStart { .. }))
+        .count();
+    let dl_ends = log
+        .iter()
+        .filter(|e| matches!(e, SessionEvent::DownloadEnd { .. }))
+        .count();
+    assert_eq!(dl_starts, result.tasks.len());
+    assert_eq!(dl_ends, result.tasks.len());
+}
+
+#[test]
+fn log_has_playback_start_and_end_exactly_once() {
+    let s = session(Context::Walking, 30.0, 3);
+    let sim = Simulator::paper(BitrateLadder::evaluation());
+    let (result, log) = sim.run_logged(&s, &mut FixedLevel::new(LevelIndex::new(3)));
+    let starts: Vec<_> = log
+        .iter()
+        .filter_map(|e| match e {
+            SessionEvent::PlaybackStart { at } => Some(*at),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(starts.len(), 1);
+    assert_eq!(starts[0], result.startup_delay);
+    let ends = log
+        .iter()
+        .filter(|e| matches!(e, SessionEvent::PlaybackEnd { .. }))
+        .count();
+    assert_eq!(ends, 1);
+}
+
+#[test]
+fn stall_intervals_sum_to_total_rebuffer() {
+    // Force the highest level on a vehicle link long enough to stall.
+    let s = session(Context::MovingVehicle, 400.0, 77);
+    let sim = Simulator::paper(BitrateLadder::evaluation());
+    let (result, log) = sim.run_logged(&s, &mut FixedLevel::highest());
+    let logged_stall: f64 = log
+        .stall_intervals()
+        .iter()
+        .map(|(a, b)| b.value() - a.value())
+        .sum();
+    assert!(
+        (logged_stall - result.total_rebuffer.value()).abs() < 1e-6,
+        "log {logged_stall} vs result {}",
+        result.total_rebuffer.value()
+    );
+}
+
+#[test]
+fn events_are_time_ordered() {
+    let s = session(Context::MovingVehicle, 120.0, 5);
+    let sim = Simulator::paper(BitrateLadder::evaluation());
+    let (_, log) = sim.run_logged(&s, &mut FixedLevel::highest());
+    let mut prev = Seconds::zero();
+    for e in &log {
+        assert!(e.at() >= prev, "event {e:?} before {prev}");
+        prev = e.at();
+    }
+    assert!(log.len() > 100);
+}
+
+#[test]
+fn timeline_renders_for_a_real_session() {
+    let s = session(Context::Walking, 20.0, 6);
+    let sim = Simulator::paper(BitrateLadder::evaluation());
+    let (_, log) = sim.run_logged(&s, &mut FixedLevel::highest());
+    let text = log.render_timeline();
+    assert!(text.contains("decide"));
+    assert!(text.contains("dl-end"));
+    assert!(text.contains("play"));
+}

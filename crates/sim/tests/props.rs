@@ -1,0 +1,107 @@
+//! Property-based tests for simulator invariants.
+
+use ecas_sim::controller::FixedLevel;
+use ecas_sim::Simulator;
+use ecas_trace::synth::context::{Context, ContextSchedule};
+use ecas_trace::synth::SessionGenerator;
+use ecas_types::ladder::{BitrateLadder, LevelIndex};
+use ecas_types::units::Seconds;
+use proptest::prelude::*;
+
+fn any_context() -> impl Strategy<Value = Context> {
+    prop_oneof![
+        Just(Context::QuietRoom),
+        Just(Context::Walking),
+        Just(Context::MovingVehicle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulator_invariants_hold(
+        seed in 0u64..500,
+        secs in 20.0f64..120.0,
+        level in 0usize..14,
+        ctx in any_context(),
+    ) {
+        let session = SessionGenerator::new(
+            "prop",
+            ContextSchedule::constant(ctx),
+            Seconds::new(secs),
+            seed,
+        )
+        .generate();
+        let sim = Simulator::paper(BitrateLadder::evaluation());
+        let result = sim.run(&session, &mut FixedLevel::new(LevelIndex::new(level)));
+
+        // Everything plays, nothing exceeds the wall clock.
+        let n_segments = (secs / 2.0).ceil();
+        prop_assert!((result.played.value() - n_segments * 2.0).abs() < 1e-6);
+        prop_assert!(result.wall_time >= result.played);
+        prop_assert_eq!(result.tasks.len(), n_segments as usize);
+
+        // Wall time decomposes into startup + playback + stalls.
+        let decomposed = result.startup_delay.value()
+            + result.played.value()
+            + result.total_rebuffer.value();
+        prop_assert!(
+            (result.wall_time.value() - decomposed).abs() < 1.0,
+            "wall {} != decomposition {}",
+            result.wall_time.value(),
+            decomposed
+        );
+
+        // Energy is positive and the breakdown sums.
+        prop_assert!(result.total_energy.value() > 0.0);
+        let sum = result.energy.screen.value()
+            + result.energy.decode.value()
+            + result.energy.radio.value()
+            + result.energy.tail.value();
+        prop_assert!((sum - result.total_energy.value()).abs() < 1e-6);
+
+        // Task timeline is sequential and sane.
+        for w in result.tasks.windows(2) {
+            prop_assert!(w[1].download_start >= w[0].download_end - Seconds::new(1e-9));
+        }
+        for t in &result.tasks {
+            prop_assert!(t.qoe.value() >= 0.0 && t.qoe.value() <= 5.0);
+            prop_assert!(t.rebuffer.value() >= 0.0);
+            prop_assert!(t.radio_energy.value() >= 0.0);
+        }
+
+        // Per-task stalls sum to the session total.
+        let stall_sum: f64 = result.tasks.iter().map(|t| t.rebuffer.value()).sum();
+        prop_assert!((stall_sum - result.total_rebuffer.value()).abs() < 1e-6);
+
+        // A fixed controller never switches.
+        prop_assert_eq!(result.switches, 0);
+    }
+
+    #[test]
+    fn energy_monotone_in_fixed_level(
+        seed in 0u64..100,
+        l1 in 0usize..14,
+        l2 in 0usize..14,
+    ) {
+        prop_assume!(l1 < l2);
+        let session = SessionGenerator::new(
+            "prop2",
+            ContextSchedule::constant(Context::QuietRoom),
+            Seconds::new(60.0),
+            seed,
+        )
+        .generate();
+        let sim = Simulator::paper(BitrateLadder::evaluation());
+        let low = sim.run(&session, &mut FixedLevel::new(LevelIndex::new(l1)));
+        let high = sim.run(&session, &mut FixedLevel::new(LevelIndex::new(l2)));
+        prop_assert!(low.downloaded < high.downloaded);
+        prop_assert!(
+            low.total_energy.value() <= high.total_energy.value() + 1e-6,
+            "E({l1}) = {} > E({l2}) = {}",
+            low.total_energy.value(),
+            high.total_energy.value()
+        );
+    }
+}

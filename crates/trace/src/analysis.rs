@@ -1,0 +1,237 @@
+//! Trace analytics: summary statistics and empirical CDFs over the
+//! measurement channels — the numbers a trace-collection paper reports
+//! about its dataset.
+
+use ecas_types::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+use crate::sample::{NetworkSample, SignalSample};
+use crate::series::TimeSeries;
+use crate::session::SessionTrace;
+
+/// Five-number summary plus mean/std of a scalar channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Minimum value.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl ChannelStats {
+    /// Computes the statistics of a value sequence.
+    ///
+    /// Returns `None` for an empty input.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let pct = |p: f64| sorted[((p * (n - 1) as f64).round() as usize).min(n - 1)];
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        Some(Self {
+            min: sorted[0],
+            p25: pct(0.25),
+            p50: pct(0.50),
+            p75: pct(0.75),
+            max: sorted[n - 1],
+            mean,
+            std: var.sqrt(),
+            n,
+        })
+    }
+}
+
+/// An empirical CDF as `(value, fraction ≤ value)` points.
+///
+/// Returns up to `points` evenly-spaced quantiles; empty input yields an
+/// empty vector.
+#[must_use]
+pub fn empirical_cdf(values: &[f64], points: usize) -> Vec<(f64, f64)> {
+    if values.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    (1..=points)
+        .map(|k| {
+            let q = k as f64 / points as f64;
+            let idx = ((q * n as f64).ceil() as usize - 1).min(n - 1);
+            (sorted[idx], q)
+        })
+        .collect()
+}
+
+/// Dataset-level summary of one session trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Trace name.
+    pub name: String,
+    /// Throughput statistics (Mbps).
+    pub throughput: ChannelStats,
+    /// Signal-strength statistics (dBm).
+    pub signal: ChannelStats,
+    /// Accelerometer-magnitude statistics (m/s²).
+    pub accel_magnitude: ChannelStats,
+    /// Fraction of time the link sits below the top ladder bitrate
+    /// (5.8 Mbps) — how often a fixed 1080p stream runs a deficit.
+    pub below_top_bitrate: f64,
+}
+
+impl SessionStats {
+    /// Computes the summary of a session.
+    #[must_use]
+    pub fn of(session: &SessionTrace) -> Self {
+        let thr: Vec<f64> = session
+            .network()
+            .iter()
+            .map(|s| s.throughput.value())
+            .collect();
+        let sig: Vec<f64> = session.signal().iter().map(|s| s.dbm.value()).collect();
+        let mag: Vec<f64> = session.accel().iter().map(|s| s.magnitude()).collect();
+        let below = thr.iter().filter(|&&t| t < 5.8).count() as f64 / thr.len() as f64;
+        Self {
+            name: session.meta().name.clone(),
+            throughput: ChannelStats::of(&thr).expect("network channel is non-empty"),
+            signal: ChannelStats::of(&sig).expect("signal channel is non-empty"),
+            accel_magnitude: ChannelStats::of(&mag).expect("accel channel is non-empty"),
+            below_top_bitrate: below,
+        }
+    }
+}
+
+/// Total bytes a constant-rate download would transfer across the trace's
+/// throughput, useful for sanity-checking capacity: integrates the step
+/// function over `[0, horizon)`.
+#[must_use]
+pub fn link_capacity(network: &TimeSeries<NetworkSample>, horizon: Seconds) -> f64 {
+    let samples = network.as_slice();
+    let mut total_mb = 0.0;
+    for (i, s) in samples.iter().enumerate() {
+        let start = s.time.value();
+        if start >= horizon.value() {
+            break;
+        }
+        let end = samples
+            .get(i + 1)
+            .map_or(horizon.value(), |n| n.time.value().min(horizon.value()));
+        total_mb += s.throughput.megabytes_per_second() * (end - start).max(0.0);
+    }
+    total_mb
+}
+
+/// Time-weighted mean signal strength over `[0, horizon)` (dBm).
+#[must_use]
+pub fn mean_signal_weighted(signal: &TimeSeries<SignalSample>, horizon: Seconds) -> f64 {
+    let samples = signal.as_slice();
+    let mut acc = 0.0;
+    let mut span = 0.0;
+    for (i, s) in samples.iter().enumerate() {
+        let start = s.time.value();
+        if start >= horizon.value() {
+            break;
+        }
+        let end = samples
+            .get(i + 1)
+            .map_or(horizon.value(), |n| n.time.value().min(horizon.value()));
+        let dt = (end - start).max(0.0);
+        acc += s.dbm.value() * dt;
+        span += dt;
+    }
+    if span > 0.0 {
+        acc / span
+    } else {
+        samples[0].dbm.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::videos::EvalTraceSpec;
+    use ecas_types::units::{Dbm, Mbps};
+
+    #[test]
+    fn channel_stats_of_known_values() {
+        let stats = ChannelStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 5.0);
+        assert_eq!(stats.p50, 3.0);
+        assert_eq!(stats.mean, 3.0);
+        assert!((stats.std - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(stats.n, 5);
+    }
+
+    #[test]
+    fn stats_of_empty_is_none() {
+        assert!(ChannelStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let values: Vec<f64> = (0..100).map(|i| (i * 37 % 100) as f64).collect();
+        let cdf = empirical_cdf(&values, 10);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        assert_eq!(cdf.last().unwrap().0, 99.0);
+    }
+
+    #[test]
+    fn session_stats_for_table_v_traces() {
+        let quiet = SessionStats::of(&EvalTraceSpec::table_v()[1].generate());
+        let vehicle = SessionStats::of(&EvalTraceSpec::table_v()[2].generate());
+        // The quiet trace has a faster, stronger, stiller channel.
+        assert!(quiet.throughput.mean > vehicle.throughput.mean);
+        assert!(quiet.signal.mean > vehicle.signal.mean);
+        assert!(quiet.accel_magnitude.std < vehicle.accel_magnitude.std);
+        assert!(quiet.below_top_bitrate < vehicle.below_top_bitrate);
+    }
+
+    #[test]
+    fn link_capacity_integrates_step_function() {
+        let net = TimeSeries::new(vec![
+            NetworkSample::new(Seconds::new(0.0), Mbps::new(8.0)),
+            NetworkSample::new(Seconds::new(10.0), Mbps::new(16.0)),
+        ])
+        .unwrap();
+        // 10 s at 1 MB/s + 10 s at 2 MB/s = 30 MB.
+        let mb = link_capacity(&net, Seconds::new(20.0));
+        assert!((mb - 30.0).abs() < 1e-9);
+        // Truncated horizon.
+        let mb = link_capacity(&net, Seconds::new(5.0));
+        assert!((mb - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_signal_mean() {
+        let sig = TimeSeries::new(vec![
+            SignalSample::new(Seconds::new(0.0), Dbm::new(-80.0)),
+            SignalSample::new(Seconds::new(30.0), Dbm::new(-110.0)),
+        ])
+        .unwrap();
+        // 30 s at -80, 10 s at -110 -> (-2400 - 1100) / 40 = -87.5.
+        let mean = mean_signal_weighted(&sig, Seconds::new(40.0));
+        assert!((mean + 87.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,55 @@
+//! Fuzz-style tests: `Manifest::parse` must never panic, whatever bytes it
+//! is fed, and must round-trip everything its writer can produce.
+
+use ecas_trace::mpd::Manifest;
+use ecas_types::ladder::BitrateLadder;
+use ecas_types::units::{Mbps, Seconds};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn parse_never_panics_on_arbitrary_strings(input in ".*") {
+        let _ = Manifest::parse(&input);
+    }
+
+    #[test]
+    fn parse_never_panics_on_xmlish_soup(
+        tags in proptest::collection::vec("[A-Za-z]{1,12}", 0..20),
+        attrs in proptest::collection::vec(("[A-Za-z]{1,16}", "[^\"<>]{0,12}"), 0..20),
+    ) {
+        let mut xml = String::from("<MPD mediaPresentationDuration=\"PT10S\"");
+        for (name, value) in &attrs {
+            xml.push_str(&format!(" {name}=\"{value}\""));
+        }
+        xml.push('>');
+        for t in &tags {
+            xml.push_str(&format!("<{t} duration=\"2\" bandwidth=\"100\"/>"));
+        }
+        xml.push_str("</MPD>");
+        let _ = Manifest::parse(&xml);
+    }
+
+    #[test]
+    fn writer_output_always_parses(
+        raw in proptest::collection::btree_set(50u64..80_000u64, 1..16),
+        seg_ms in 500u64..10_000,
+        duration in 2.0f64..7200.0,
+    ) {
+        let bitrates: Vec<Mbps> = raw.iter().map(|&b| Mbps::new(b as f64 / 1000.0)).collect();
+        let ladder = BitrateLadder::from_bitrates(bitrates).unwrap();
+        let manifest = Manifest::new(
+            ladder,
+            Seconds::new(seg_ms as f64 / 1000.0),
+            Seconds::new(duration),
+        );
+        let xml = manifest.to_xml();
+        let back = Manifest::parse(&xml).unwrap();
+        prop_assert_eq!(back.ladder.len(), manifest.ladder.len());
+        prop_assert!((back.segment_duration.value() - manifest.segment_duration.value()).abs() < 1e-3);
+        prop_assert!((back.duration.value() - manifest.duration.value()).abs() < 2e-3);
+        // Bandwidth attributes are integers in bits/s: sub-kbps rounding.
+        for (a, b) in manifest.ladder.iter().zip(back.ladder.iter()) {
+            prop_assert!((a.bitrate().value() - b.bitrate().value()).abs() < 1e-6);
+        }
+    }
+}

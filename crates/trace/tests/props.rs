@@ -1,0 +1,110 @@
+//! Property-based tests for time-series invariants and trace codecs.
+
+use ecas_trace::io::{decode_binary, encode_binary, read_csv, write_csv};
+use ecas_trace::sample::NetworkSample;
+use ecas_trace::series::TimeSeries;
+use ecas_trace::synth::context::{Context, ContextSchedule};
+use ecas_trace::synth::SessionGenerator;
+use ecas_types::units::{Mbps, Seconds};
+use proptest::prelude::*;
+
+fn sorted_times() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1e5, 1..50).prop_map(|mut v| {
+        v.sort_by(f64::total_cmp);
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn series_accepts_any_sorted_input(times in sorted_times()) {
+        let samples: Vec<NetworkSample> = times
+            .iter()
+            .map(|&t| NetworkSample::new(Seconds::new(t), Mbps::new(1.0)))
+            .collect();
+        let series = TimeSeries::new(samples).unwrap();
+        prop_assert_eq!(series.len(), times.len());
+    }
+
+    #[test]
+    fn at_or_before_matches_linear_scan(times in sorted_times(), query in 0.0f64..1.1e5) {
+        let samples: Vec<NetworkSample> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| NetworkSample::new(Seconds::new(t), Mbps::new(i as f64 + 1.0)))
+            .collect();
+        let series = TimeSeries::new(samples.clone()).unwrap();
+        let expected = samples
+            .iter()
+            .rev()
+            .find(|s| s.time.value() <= query);
+        let got = series.at_or_before(Seconds::new(query));
+        match (expected, got) {
+            (None, None) => {}
+            (Some(e), Some(g)) => prop_assert_eq!(e.time, g.time),
+            (e, g) => prop_assert!(false, "mismatch: {:?} vs {:?}", e, g),
+        }
+    }
+
+    #[test]
+    fn window_contents_are_exactly_in_range(times in sorted_times(), a in 0.0f64..1e5, b in 0.0f64..1e5) {
+        let (from, to) = if a <= b { (a, b) } else { (b, a) };
+        let samples: Vec<NetworkSample> = times
+            .iter()
+            .map(|&t| NetworkSample::new(Seconds::new(t), Mbps::new(1.0)))
+            .collect();
+        let series = TimeSeries::new(samples).unwrap();
+        let window = series.window(Seconds::new(from), Seconds::new(to));
+        for s in window {
+            prop_assert!(s.time.value() >= from && s.time.value() < to);
+        }
+        let expected = times.iter().filter(|&&t| t >= from && t < to).count();
+        prop_assert_eq!(window.len(), expected);
+    }
+
+    #[test]
+    fn csv_roundtrip_any_network_series(times in sorted_times()) {
+        let samples: Vec<NetworkSample> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| NetworkSample::new(Seconds::new(t), Mbps::new((i % 7) as f64 + 0.25)))
+            .collect();
+        let series = TimeSeries::new(samples).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &series).unwrap();
+        let back: TimeSeries<NetworkSample> = read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(series, back);
+    }
+
+    #[test]
+    fn binary_roundtrip_generated_sessions(seed in 0u64..200, secs in 5.0f64..40.0) {
+        let session = SessionGenerator::new(
+            "prop",
+            ContextSchedule::constant(Context::MovingVehicle),
+            Seconds::new(secs),
+            seed,
+        )
+        .generate();
+        let bytes = encode_binary(&session);
+        let back = decode_binary(&bytes).unwrap();
+        prop_assert_eq!(session, back);
+    }
+
+    #[test]
+    fn generated_sessions_always_cover_duration(seed in 0u64..100, secs in 5.0f64..60.0) {
+        let session = SessionGenerator::new(
+            "cov",
+            ContextSchedule::commute(Seconds::new(secs)),
+            Seconds::new(secs),
+            seed,
+        )
+        .generate();
+        prop_assert!(session.network().duration().value() >= secs);
+        prop_assert!(session.signal().duration().value() >= secs);
+        prop_assert!(session.accel().duration().value() >= secs - 0.05);
+        // Throughput strictly positive everywhere.
+        for s in session.network().iter() {
+            prop_assert!(s.throughput.value() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for unit and ladder construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a unit value from an invalid number.
+///
+/// Unit newtypes such as [`crate::units::Mbps`] reject NaN everywhere and
+/// negative values for quantities that are physically non-negative.
+///
+/// # Examples
+///
+/// ```
+/// use ecas_types::units::Mbps;
+///
+/// let err = Mbps::try_new(-1.0).unwrap_err();
+/// assert!(err.to_string().contains("negative"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitError {
+    /// The provided value was NaN.
+    NotANumber {
+        /// The unit being constructed (e.g. `"Mbps"`).
+        unit: &'static str,
+    },
+    /// The provided value was negative for a non-negative quantity.
+    Negative {
+        /// The unit being constructed (e.g. `"Joules"`).
+        unit: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The provided value fell outside the plausible range of the quantity.
+    OutOfRange {
+        /// The unit being constructed (e.g. `"Dbm"`).
+        unit: &'static str,
+        /// The offending value.
+        value: f64,
+        /// The inclusive lower bound of the plausible range.
+        min: f64,
+        /// The inclusive upper bound of the plausible range.
+        max: f64,
+    },
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::NotANumber { unit } => {
+                write!(f, "{unit} value was NaN")
+            }
+            UnitError::Negative { unit, value } => {
+                write!(f, "{unit} value {value} was negative")
+            }
+            UnitError::OutOfRange {
+                unit,
+                value,
+                min,
+                max,
+            } => {
+                write!(
+                    f,
+                    "{unit} value {value} outside plausible range [{min}, {max}]"
+                )
+            }
+        }
+    }
+}
+
+impl Error for UnitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            UnitError::NotANumber { unit: "Mbps" },
+            UnitError::Negative {
+                unit: "Joules",
+                value: -3.0,
+            },
+            UnitError::OutOfRange {
+                unit: "Dbm",
+                value: 5.0,
+                min: -140.0,
+                max: -20.0,
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UnitError>();
+    }
+}

@@ -1,0 +1,92 @@
+//! A "battery dashboard" for one streaming session: classify the watching
+//! context live from the accelerometer, replay the session with and
+//! without context awareness, and report the outcome in battery terms.
+//!
+//! ```sh
+//! cargo run --release --example battery_dashboard
+//! ```
+
+use ecas::power::battery::Battery;
+use ecas::sensors::activity::ActivityClassifier;
+use ecas::sim::SessionEvent;
+use ecas::trace::synth::context::ContextSchedule;
+use ecas::trace::synth::SessionGenerator;
+use ecas::types::units::Seconds;
+use ecas::{Approach, ExperimentRunner};
+
+fn main() {
+    let total = Seconds::new(480.0);
+    let session = SessionGenerator::new(
+        "evening-commute",
+        ContextSchedule::commute(total),
+        total,
+        31,
+    )
+    .description("8-minute commute home")
+    .generate();
+
+    // 1. Live context classification from the raw accelerometer channel.
+    println!("context timeline (classified from the accelerometer):");
+    let mut classifier = ActivityClassifier::new();
+    let mut last_label = None;
+    for sample in session.accel().iter() {
+        classifier.push(*sample);
+        let label = classifier.stable_context();
+        if label != last_label && sample.time.value() > 6.0 {
+            if let Some(ctx) = label {
+                println!("  {:6.1} s: {}", sample.time.value(), ctx);
+            }
+            last_label = label;
+        }
+    }
+
+    // 2. Replay with the context-aware selector, logging events.
+    let runner = ExperimentRunner::paper();
+    let mut ours_ctrl = Approach::Ours.controller(runner.simulator(), &session);
+    let (ours, log) = runner.simulator().run_logged(&session, ours_ctrl.as_mut());
+    let youtube = runner.run(&session, &Approach::Youtube);
+
+    let stalls = log.stall_intervals();
+    let idle_waits = log
+        .iter()
+        .filter(|e| matches!(e, SessionEvent::IdleWait { .. }))
+        .count();
+    println!(
+        "\nsession events: {} total, {} stalls, {} buffer-full waits",
+        log.len(),
+        stalls.len(),
+        idle_waits
+    );
+
+    // 3. Battery framing.
+    let battery = Battery::nexus_5x();
+    println!(
+        "\nbattery impact (LG Nexus 5X, {:.0} J full):",
+        battery.capacity().value()
+    );
+    for r in [&youtube, &ours] {
+        println!(
+            "  {:<8} {:6.0} J = {:4.1}% of the battery  (QoE {:.2})",
+            r.controller,
+            r.total_energy.value(),
+            100.0 * battery.fraction_of_capacity(r.total_energy),
+            r.mean_qoe.value()
+        );
+    }
+    let saved = youtube.total_energy.saturating_sub(ours.total_energy);
+    let mut after_ride = Battery::nexus_5x();
+    after_ride.drain(ours.total_energy);
+    println!(
+        "\ncontext awareness saved {:.0} J ({:.1}% of the battery) on this ride;",
+        saved.value(),
+        100.0 * battery.fraction_of_capacity(saved)
+    );
+    println!(
+        "at a 2 W screen-on draw that buys {:.0} extra minutes of use.",
+        (saved / ecas::types::units::Watts::new(2.0)).value() / 60.0
+    );
+    println!(
+        "battery after the ride: {:.1}%",
+        100.0 * after_ride.state_of_charge()
+    );
+}

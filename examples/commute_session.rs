@@ -1,0 +1,71 @@
+//! A realistic commute: walk → bus → walk → office, with the context
+//! changing mid-stream. Shows how the online algorithm's bitrate follows
+//! the context while a fixed player burns energy throughout.
+//!
+//! ```sh
+//! cargo run --release --example commute_session
+//! ```
+
+use ecas::trace::synth::context::ContextSchedule;
+use ecas::trace::synth::SessionGenerator;
+use ecas::types::units::Seconds;
+use ecas::{Approach, ExperimentRunner};
+
+fn main() {
+    let total = Seconds::new(600.0);
+    let schedule = ContextSchedule::commute(total);
+    let session = SessionGenerator::new("commute", schedule.clone(), total, 7)
+        .description("10-minute commute: walk, bus, walk, office")
+        .generate();
+
+    println!("context schedule:");
+    for (start, ctx) in schedule.iter() {
+        println!("  from {:6.0} s: {}", start.value(), ctx);
+    }
+    println!();
+
+    let runner = ExperimentRunner::paper();
+    let ours = runner.run(&session, &Approach::Ours);
+    let youtube = runner.run(&session, &Approach::Youtube);
+
+    // Average the chosen bitrate of "ours" within each context phase.
+    println!("mean chosen bitrate by phase (ours vs youtube is always 5.8):");
+    let phases: Vec<_> = schedule.iter().collect();
+    for (i, (start, ctx)) in phases.iter().enumerate() {
+        let end = phases
+            .get(i + 1)
+            .map_or(total.value(), |(next, _)| next.value());
+        let in_phase: Vec<f64> = ours
+            .tasks
+            .iter()
+            .filter(|t| t.download_start.value() >= start.value() && t.download_start.value() < end)
+            .map(|t| t.bitrate.value())
+            .collect();
+        if in_phase.is_empty() {
+            continue;
+        }
+        let mean = in_phase.iter().sum::<f64>() / in_phase.len() as f64;
+        println!(
+            "  {:>14} [{:4.0}..{:4.0} s]: {:.2} Mbps over {} segments",
+            ctx.to_string(),
+            start.value(),
+            end,
+            mean,
+            in_phase.len()
+        );
+    }
+
+    println!();
+    println!(
+        "energy: ours {:.0} J vs youtube {:.0} J ({:.0}% saving)",
+        ours.total_energy.value(),
+        youtube.total_energy.value(),
+        100.0 * (1.0 - ours.total_energy.value() / youtube.total_energy.value())
+    );
+    println!(
+        "QoE:    ours {:.2} vs youtube {:.2} ({:.1}% degradation)",
+        ours.mean_qoe.value(),
+        youtube.mean_qoe.value(),
+        100.0 * (1.0 - ours.mean_qoe.value() / youtube.mean_qoe.value())
+    );
+}

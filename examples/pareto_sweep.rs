@@ -1,0 +1,67 @@
+//! Sweep the Eq. (11) weighting factor η and print the energy/QoE Pareto
+//! front of the online algorithm — the knob a product would expose as a
+//! "battery saver" slider.
+//!
+//! ```sh
+//! cargo run --release --example pareto_sweep
+//! ```
+
+use ecas::trace::videos::EvalTraceSpec;
+use ecas::{Approach, ExperimentRunner};
+
+fn main() {
+    let session = EvalTraceSpec::table_v()[4].generate(); // longest, mixed contexts
+    println!(
+        "Pareto sweep on {} ({:.0} s, avg vibration {:.1} m/s^2)\n",
+        session.meta().name,
+        session.meta().video_length.value(),
+        session.meta().avg_vibration.value()
+    );
+
+    println!(
+        "{:>5} {:>12} {:>8} {:>12}",
+        "eta", "energy (J)", "QoE", "rebuffer(s)"
+    );
+    println!("{}", "-".repeat(42));
+    let mut front: Vec<(f64, f64, f64)> = Vec::new();
+    for i in 0..=10 {
+        let eta = i as f64 / 10.0;
+        let runner = ExperimentRunner::paper_with_eta(eta);
+        let r = runner.run(&session, &Approach::Ours);
+        println!(
+            "{:>5.2} {:>12.0} {:>8.2} {:>12.1}",
+            eta,
+            r.total_energy.value(),
+            r.mean_qoe.value(),
+            r.total_rebuffer.value()
+        );
+        front.push((eta, r.total_energy.value(), r.mean_qoe.value()));
+    }
+
+    // Report the knee: the point with the best QoE-per-joule marginal
+    // trade relative to the endpoints.
+    let (e_min, e_max) = front
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, e, _)| {
+            (lo.min(e), hi.max(e))
+        });
+    let (q_min, q_max) = front
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, _, q)| {
+            (lo.min(q), hi.max(q))
+        });
+    let knee = front
+        .iter()
+        .max_by(|a, b| {
+            let score = |&(_, e, q): &(f64, f64, f64)| {
+                (q - q_min) / (q_max - q_min) - (e - e_min) / (e_max - e_min)
+            };
+            score(a).total_cmp(&score(b))
+        })
+        .expect("front is non-empty");
+    println!(
+        "\nknee of the front: eta = {:.2} ({:.0} J at QoE {:.2})",
+        knee.0, knee.1, knee.2
+    );
+    println!("the paper's evaluation uses eta = 0.5 (energy and QoE weighted equally)");
+}

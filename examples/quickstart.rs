@@ -1,0 +1,62 @@
+//! Quickstart: stream one synthetic bus ride with the energy- and
+//! context-aware online algorithm and print the session summary.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ecas::trace::synth::context::{Context, ContextSchedule};
+use ecas::trace::synth::SessionGenerator;
+use ecas::types::units::Seconds;
+use ecas::{Approach, ExperimentRunner};
+
+fn main() {
+    // 1. Generate a five-minute session on a moving bus: a weak,
+    //    fluctuating LTE link and a vibrating phone.
+    let session = SessionGenerator::new(
+        "bus-ride",
+        ContextSchedule::constant(Context::MovingVehicle),
+        Seconds::new(300.0),
+        2024,
+    )
+    .description("quickstart demo: five minutes on a bus")
+    .generate();
+
+    // 2. Run the paper's online bitrate selector against it.
+    let runner = ExperimentRunner::paper();
+    let ours = runner.run(&session, &Approach::Ours);
+    let youtube = runner.run(&session, &Approach::Youtube);
+
+    // 3. Report.
+    println!(
+        "session: {} ({} tasks)",
+        session.meta().name,
+        ours.tasks.len()
+    );
+    println!(
+        "context: avg vibration {:.1} m/s^2, mean link {:.1} Mbps, mean signal {:.1} dBm",
+        session.meta().avg_vibration.value(),
+        session.network().mean_throughput().value(),
+        session.signal().mean_signal().value()
+    );
+    println!();
+    for r in [&youtube, &ours] {
+        println!(
+            "{:<8}  energy {:7.1} J   mean QoE {:.2}   rebuffer {:5.1} s   switches {:3}   mean bitrate {:.2} Mbps",
+            r.controller,
+            r.total_energy.value(),
+            r.mean_qoe.value(),
+            r.total_rebuffer.value(),
+            r.switches,
+            r.mean_bitrate().value(),
+        );
+    }
+    let saving = 1.0 - ours.total_energy.value() / youtube.total_energy.value();
+    let degradation = 1.0 - ours.mean_qoe.value() / youtube.mean_qoe.value();
+    println!();
+    println!(
+        "energy saving vs Youtube: {:.1}%  at a QoE cost of {:.1}%",
+        100.0 * saving,
+        100.0 * degradation
+    );
+}

@@ -1,0 +1,98 @@
+//! Adopting a real network trace: build a session from a Mahimahi-style
+//! packet trace (the format used by most public LTE datasets), attach
+//! synthetic signal/accelerometer channels for the context, and compare
+//! the policies on it.
+//!
+//! The example writes a small Mahimahi file itself so it runs
+//! self-contained; point `load` at your own file to use real data.
+//!
+//! ```sh
+//! cargo run --release --example real_trace
+//! ```
+
+use ecas::trace::io::read_mahimahi;
+use ecas::trace::sample::{AccelSample, SignalSample};
+use ecas::trace::series::TimeSeries;
+use ecas::trace::session::{SessionTrace, TraceMeta};
+use ecas::trace::synth::accel::AccelTraceGenerator;
+use ecas::trace::synth::context::{Context, ContextSchedule};
+use ecas::types::units::{Dbm, MegaBytes, MetersPerSec2, Seconds};
+use ecas::{Approach, ExperimentRunner};
+
+fn main() {
+    // 1. A Mahimahi-style trace: one line per 1500-byte delivery
+    //    opportunity (milliseconds). We synthesize a bursty 240 s link:
+    //    8 Mbps baseline with multi-second outage-ish dips.
+    let mut mahimahi = String::new();
+    let mut t_ms = 0.0f64;
+    while t_ms < 240_000.0 {
+        let sec = t_ms / 1000.0;
+        // Dips every ~45 s lasting 10 s at ~1 Mbps; otherwise ~8 Mbps.
+        let mbps = if (sec / 45.0).fract() < 10.0 / 45.0 {
+            1.0
+        } else {
+            8.0
+        };
+        let gap_ms = 1500.0 * 8.0 / (mbps * 1000.0);
+        mahimahi.push_str(&format!("{}\n", t_ms as u64));
+        t_ms += gap_ms;
+    }
+
+    // 2. Parse it into a throughput channel (1-second bins).
+    let network =
+        read_mahimahi(mahimahi.as_bytes(), Seconds::new(1.0)).expect("generated trace parses");
+    println!(
+        "imported {} bins spanning {:.0} s, mean {:.2} Mbps",
+        network.len(),
+        network.duration().value(),
+        network.mean_throughput().value()
+    );
+
+    // 3. Attach context channels: this ride is a bus trip, so synthesize a
+    //    vehicle accelerometer stream and a weak-signal channel.
+    let video_length = Seconds::new(240.0);
+    let accel = AccelTraceGenerator::new(
+        ContextSchedule::constant(Context::MovingVehicle),
+        video_length,
+        99,
+    )
+    .generate();
+    let signal = TimeSeries::new(vec![SignalSample::new(Seconds::zero(), Dbm::new(-102.0))])
+        .expect("non-empty");
+
+    let avg_vibration = {
+        let mags: Vec<f64> = accel.iter().map(AccelSample::magnitude).collect();
+        let mean = mags.iter().sum::<f64>() / mags.len() as f64;
+        let var = mags.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / mags.len() as f64;
+        MetersPerSec2::new(var.sqrt())
+    };
+    let session = SessionTrace::new(
+        TraceMeta {
+            name: "mahimahi-bus".into(),
+            video_length,
+            data_size: MegaBytes::new(100.0),
+            avg_vibration,
+            description: "imported mahimahi link + synthetic bus context".into(),
+            seed: None,
+        },
+        network,
+        signal,
+        accel,
+    )
+    .expect("channels are non-empty");
+
+    // 4. Compare policies on the imported link.
+    let runner = ExperimentRunner::paper();
+    println!();
+    for approach in Approach::paper_set() {
+        let r = runner.run(&session, &approach);
+        println!(
+            "{:<8} energy {:7.1} J   QoE {:.2}   rebuffer {:5.1} s   mean bitrate {:.2} Mbps",
+            approach.label(),
+            r.total_energy.value(),
+            r.mean_qoe.value(),
+            r.total_rebuffer.value(),
+            r.mean_bitrate().value(),
+        );
+    }
+}

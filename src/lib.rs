@@ -1,0 +1,2 @@
+//! Facade crate: re-exports the `ecas-core` public API.
+pub use ecas_core::*;

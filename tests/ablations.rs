@@ -1,0 +1,134 @@
+//! Integration tests for the ablation experiments: the sweeps must have
+//! the shapes the design calls out.
+
+use ecas::abr::{AdaptiveEta, Festive, Online, RateBased};
+use ecas::sim::{PlayerConfig, Simulator};
+use ecas::trace::videos::EvalTraceSpec;
+use ecas::types::ladder::BitrateLadder;
+use ecas::types::units::Seconds;
+use ecas::{Approach, ExperimentRunner};
+
+#[test]
+fn eta_sweep_traces_a_pareto_front() {
+    let session = EvalTraceSpec::table_v()[2].generate();
+    let mut prev_energy = f64::INFINITY;
+    let mut qoes = Vec::new();
+    for eta in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let runner = ExperimentRunner::paper_with_eta(eta);
+        let r = runner.run(&session, &Approach::Ours);
+        assert!(
+            r.total_energy.value() <= prev_energy + 1e-6,
+            "energy not non-increasing at eta {eta}"
+        );
+        prev_energy = r.total_energy.value();
+        qoes.push(r.mean_qoe.value());
+    }
+    // QoE falls from the eta=0 end to the eta=1 end.
+    assert!(qoes.first().unwrap() > qoes.last().unwrap());
+}
+
+#[test]
+fn optimal_eta_sweep_is_monotone_in_objective_components() {
+    let session = EvalTraceSpec::table_v()[0].generate();
+    let mut prev_energy = f64::INFINITY;
+    for eta in [0.0, 0.5, 1.0] {
+        let runner = ExperimentRunner::paper_with_eta(eta);
+        let r = runner.run(&session, &Approach::Optimal);
+        assert!(r.total_energy.value() <= prev_energy + 1e-6);
+        prev_energy = r.total_energy.value();
+    }
+}
+
+#[test]
+fn small_buffers_punish_fixed_bitrate_but_not_ours() {
+    let session = EvalTraceSpec::table_v()[2].generate();
+    let make = |b: f64| {
+        Simulator::new(
+            PlayerConfig::paper().with_buffer_threshold(Seconds::new(b)),
+            BitrateLadder::evaluation(),
+            ecas::power::model::PowerModel::paper(),
+            ecas::qoe::model::QoeModel::paper(),
+        )
+    };
+    let tight = make(6.0);
+    let runner = ExperimentRunner::new(tight, 0.5);
+    let youtube = runner.run(&session, &Approach::Youtube);
+    let ours = runner.run(&session, &Approach::Ours);
+    assert!(
+        youtube.total_rebuffer.value() > 20.0,
+        "youtube should stall badly at B=6s, got {}",
+        youtube.total_rebuffer
+    );
+    assert!(
+        ours.total_rebuffer.value() < 0.2 * youtube.total_rebuffer.value(),
+        "ours should nearly avoid stalls, got {}",
+        ours.total_rebuffer
+    );
+}
+
+#[test]
+fn rate_based_switches_far_more_than_festive() {
+    let session = EvalTraceSpec::table_v()[2].generate();
+    let sim = Simulator::paper(BitrateLadder::evaluation());
+    let naive = sim.run(&session, &mut RateBased::new());
+    let smoothed = sim.run(&session, &mut Festive::new());
+    assert!(
+        naive.switches >= 2 * smoothed.switches,
+        "rate-based {} vs festive {}",
+        naive.switches,
+        smoothed.switches
+    );
+}
+
+#[test]
+fn adaptive_eta_is_weakly_better_than_fixed_on_mixed_traces() {
+    // Across the Table V set the adaptive variant should not lose on both
+    // axes simultaneously: it either saves at least as much energy or
+    // keeps at least as much QoE.
+    let sim = Simulator::paper(BitrateLadder::evaluation());
+    let mut adaptive_better_somewhere = false;
+    for spec in EvalTraceSpec::table_v() {
+        let session = spec.generate();
+        let adaptive = sim.run(&session, &mut AdaptiveEta::new());
+        let fixed = sim.run(&session, &mut Online::paper());
+        let worse_energy = adaptive.total_energy.value() > fixed.total_energy.value() * 1.02;
+        let worse_qoe = adaptive.mean_qoe.value() < fixed.mean_qoe.value() - 0.05;
+        assert!(
+            !(worse_energy && worse_qoe),
+            "adaptive dominated on trace{}",
+            spec.id
+        );
+        if adaptive.mean_qoe.value() > fixed.mean_qoe.value() + 0.01
+            || adaptive.total_energy.value() < fixed.total_energy.value() * 0.99
+        {
+            adaptive_better_somewhere = true;
+        }
+    }
+    assert!(adaptive_better_somewhere, "adaptive never helped anywhere");
+}
+
+#[test]
+fn all_extension_approaches_sit_between_youtube_and_optimal_energy() {
+    let session = EvalTraceSpec::table_v()[2].generate();
+    let runner = ExperimentRunner::paper();
+    let youtube = runner.run(&session, &Approach::Youtube).total_energy;
+    for approach in [
+        Approach::Bola,
+        Approach::Mpc,
+        Approach::Pid,
+        Approach::RateBased,
+        Approach::AdaptiveEta,
+    ] {
+        let r = runner.run(&session, &approach);
+        assert!(
+            r.total_energy <= youtube,
+            "{} used more than Youtube",
+            approach.label()
+        );
+        assert!(
+            r.mean_qoe.value() > 3.0,
+            "{} collapsed QoE",
+            approach.label()
+        );
+    }
+}

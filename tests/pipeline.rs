@@ -1,0 +1,147 @@
+//! Cross-crate pipeline tests: trace generation → sensing → fitting →
+//! control → simulation → metrics, exercised through the public facade.
+
+use ecas::abr::{ObjectiveWeights, Online};
+use ecas::power::model::PowerModel;
+use ecas::power::task::TaskEnergyModel;
+use ecas::qoe::model::QoeModel;
+use ecas::qoe::study::{run_study_and_fit, SubjectiveStudy};
+use ecas::sensors::vibration::vibration_level;
+use ecas::sim::Simulator;
+use ecas::trace::synth::context::{Context, ContextSchedule};
+use ecas::trace::synth::SessionGenerator;
+use ecas::trace::videos::EvalTraceSpec;
+use ecas::types::ladder::BitrateLadder;
+use ecas::types::units::Seconds;
+use ecas::{Approach, ExperimentRunner};
+
+#[test]
+fn fitted_models_drive_the_online_algorithm() {
+    let study = SubjectiveStudy::paper(99);
+    let (params, _, _) = run_study_and_fit(&study).expect("paper design fits");
+    assert!(params.is_valid());
+
+    let session = EvalTraceSpec::table_v()[0].generate();
+    let sim = Simulator::paper(BitrateLadder::evaluation());
+    let mut fitted_controller = Online::new(
+        ObjectiveWeights::paper(),
+        TaskEnergyModel::new(PowerModel::paper(), Seconds::new(2.0)),
+        QoeModel::new(params),
+    );
+    let with_fitted = sim.run(&session, &mut fitted_controller);
+    let with_truth = sim.run(&session, &mut Online::paper());
+
+    // The fit is close enough that behaviour is comparable: within 15% on
+    // energy and 0.25 MOS on QoE.
+    let energy_gap = (with_fitted.total_energy.value() - with_truth.total_energy.value()).abs()
+        / with_truth.total_energy.value();
+    assert!(energy_gap < 0.15, "energy gap {energy_gap}");
+    let qoe_gap = (with_fitted.mean_qoe.value() - with_truth.mean_qoe.value()).abs();
+    assert!(qoe_gap < 0.25, "QoE gap {qoe_gap}");
+}
+
+#[test]
+fn vibration_sensing_agrees_with_trace_metadata() {
+    for spec in EvalTraceSpec::table_v() {
+        let session = spec.generate();
+        let sensed = vibration_level(session.accel().as_slice()).unwrap();
+        let meta = session.meta().avg_vibration;
+        let gap = (sensed.value() - meta.value()).abs() / meta.value();
+        assert!(
+            gap < 0.05,
+            "trace{}: sensed {sensed} vs metadata {meta}",
+            spec.id
+        );
+    }
+}
+
+#[test]
+fn task_records_expose_context_to_downstream_analysis() {
+    let session = SessionGenerator::new(
+        "ctx",
+        ContextSchedule::new(vec![
+            (Seconds::zero(), Context::QuietRoom),
+            (Seconds::new(60.0), Context::MovingVehicle),
+        ])
+        .unwrap(),
+        Seconds::new(120.0),
+        5,
+    )
+    .generate();
+    let runner = ExperimentRunner::paper();
+    let r = runner.run(&session, &Approach::Ours);
+
+    // Early tasks (quiet) must carry lower vibration estimates than late
+    // tasks (vehicle).
+    let early: Vec<f64> = r
+        .tasks
+        .iter()
+        .filter(|t| t.download_start.value() < 50.0 && t.download_start.value() > 10.0)
+        .map(|t| t.vibration.value())
+        .collect();
+    let late: Vec<f64> = r
+        .tasks
+        .iter()
+        .filter(|t| t.download_start.value() > 80.0)
+        .map(|t| t.vibration.value())
+        .collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&early) < 0.5 * mean(&late),
+        "early vibration {:.2} vs late {:.2}",
+        mean(&early),
+        mean(&late)
+    );
+
+    // And the chosen bitrate should fall after the context switch.
+    let early_bitrate = mean(
+        &r.tasks
+            .iter()
+            .filter(|t| t.download_start.value() < 50.0 && t.download_start.value() > 20.0)
+            .map(|t| t.bitrate.value())
+            .collect::<Vec<_>>(),
+    );
+    let late_bitrate = mean(
+        &r.tasks
+            .iter()
+            .filter(|t| t.download_start.value() > 80.0)
+            .map(|t| t.bitrate.value())
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        late_bitrate < early_bitrate,
+        "bitrate did not drop after boarding: {early_bitrate:.2} -> {late_bitrate:.2}"
+    );
+}
+
+#[test]
+fn all_approaches_complete_all_table_v_traces() {
+    let runner = ExperimentRunner::paper();
+    for spec in EvalTraceSpec::table_v() {
+        let session = spec.generate();
+        for approach in Approach::all() {
+            let r = runner.run(&session, &approach);
+            let expected_tasks = (session.meta().video_length.value() / 2.0).ceil() as usize;
+            assert_eq!(
+                r.tasks.len(),
+                expected_tasks,
+                "{} on trace{}",
+                approach.label(),
+                spec.id
+            );
+            assert!(r.total_energy.value() > 0.0);
+            assert!((0.0..=5.0).contains(&r.mean_qoe.value()));
+        }
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The root crate exposes everything needed without reaching into
+    // sub-crates by name.
+    let _ladder = ecas::types::ladder::BitrateLadder::evaluation();
+    let _model = ecas::qoe::model::QoeModel::paper();
+    let _power = ecas::power::model::PowerModel::paper();
+    let runner = ecas::ExperimentRunner::paper();
+    assert_eq!(runner.eta(), 0.5);
+}
