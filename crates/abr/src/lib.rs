@@ -28,6 +28,7 @@ pub mod bola;
 pub mod deferral;
 pub mod festive;
 pub mod graph;
+pub mod instrument;
 pub mod mpc;
 pub mod objective;
 pub mod online;
@@ -41,6 +42,7 @@ pub use bola::Bola;
 pub use deferral::SignalDeferral;
 pub use ecas_sim::controller::FixedLevel;
 pub use festive::Festive;
+pub use instrument::{Instrumented, InstrumentedBox};
 pub use mpc::Mpc;
 pub use objective::ObjectiveWeights;
 pub use online::Online;

@@ -5,7 +5,7 @@
 //! bitrates wastes the most. This binary sweeps quit times over trace 3
 //! and reports the wasted downloads per approach.
 
-use ecas_bench::Table;
+use ecas_bench::{Report, Table};
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::types::units::Seconds;
 use ecas_core::viewer::quit_analysis;
@@ -16,10 +16,10 @@ fn main() {
     let runner = ExperimentRunner::paper();
     let tau = Seconds::new(2.0);
 
-    println!(
-        "wasted downloads if the viewer quits early ({}, wall clock)\n",
+    let mut report = Report::new(format!(
+        "wasted downloads if the viewer quits early ({}, wall clock)",
         session.meta().name
-    );
+    ));
     let mut table = Table::new(vec![
         "approach",
         "quit@25%: wasted MB / J",
@@ -40,7 +40,9 @@ fn main() {
         }
         table.row(cells);
     }
-    println!("{}", table.render());
-    println!("the context-aware approaches waste several times less than the fixed");
-    println!("1080p player because the in-flight buffer holds cheaper segments.");
+    report
+        .table("", table)
+        .note("the context-aware approaches waste several times less than the fixed")
+        .note("1080p player because the in-flight buffer holds cheaper segments.");
+    report.emit();
 }

@@ -4,7 +4,7 @@
 //! (more rebuffering risk for aggressive policies); larger buffers smooth
 //! the schedule.
 
-use ecas_bench::Table;
+use ecas_bench::{Report, Table};
 use ecas_core::sim::{PlayerConfig, Simulator};
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::types::ladder::BitrateLadder;
@@ -13,10 +13,10 @@ use ecas_core::{Approach, ExperimentRunner};
 
 fn main() {
     let session = EvalTraceSpec::table_v()[2].generate();
-    println!(
-        "buffer-threshold sweep on {} (tau = 2 s)\n",
+    let mut report = Report::new(format!(
+        "buffer-threshold sweep on {} (tau = 2 s)",
         session.meta().name
-    );
+    ));
 
     let mut table = Table::new(vec![
         "B (s)",
@@ -44,7 +44,9 @@ fn main() {
             format!("{:.1}", ours.total_rebuffer.value()),
         ]);
     }
-    println!("{}", table.render());
-    println!("small buffers expose the fixed-bitrate baseline to fades; the online");
-    println!("algorithm adapts and stays stall-free across the sweep.");
+    report
+        .table("", table)
+        .note("small buffers expose the fixed-bitrate baseline to fades; the online")
+        .note("algorithm adapts and stays stall-free across the sweep.");
+    report.emit();
 }

@@ -6,7 +6,7 @@
 //! policy with and without the signal-aware deferral wrapper over the
 //! vehicle-heavy Table V traces.
 
-use ecas_bench::Table;
+use ecas_bench::{Report, Table};
 use ecas_core::abr::{Festive, Online, SignalDeferral};
 use ecas_core::sim::controller::FixedLevel;
 use ecas_core::sim::{BitrateController, Simulator};
@@ -20,8 +20,10 @@ fn main() {
         .collect();
     let sim = Simulator::paper(BitrateLadder::evaluation());
 
-    println!("signal-aware deferral on vehicle-heavy traces (defer below -104 dBm");
-    println!("while >60% of the buffer remains)\n");
+    let mut report = Report::new(
+        "signal-aware deferral on vehicle-heavy traces (defer below -104 dBm \
+         while >60% of the buffer remains)",
+    );
 
     let mut table = Table::new(vec![
         "policy",
@@ -72,7 +74,9 @@ fn main() {
             format!("{:.1}", stalls / n),
         ]);
     }
-    println!("{}", table.render());
-    println!("deferral trims the radio bill of every policy; combined with the");
-    println!("context-aware selector the two savings compose.");
+    report
+        .table("", table)
+        .note("deferral trims the radio bill of every policy; combined with the")
+        .note("context-aware selector the two savings compose.");
+    report.emit();
 }

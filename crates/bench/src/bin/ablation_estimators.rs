@@ -5,7 +5,7 @@
 //! then compare with the next observed segment throughput. Reported as
 //! mean absolute error and mean signed error (bias), per context.
 
-use ecas_bench::Table;
+use ecas_bench::{Report, Table};
 use ecas_core::net::{BandwidthEstimator, Ewma, HarmonicMean, SlidingPercentile};
 use ecas_core::sim::Simulator;
 use ecas_core::trace::synth::context::{Context, ContextSchedule};
@@ -15,7 +15,7 @@ use ecas_core::types::units::Seconds;
 use ecas_core::Approach;
 
 fn main() {
-    println!("estimator prediction error on next-segment throughput\n");
+    let mut report = Report::new("estimator prediction error on next-segment throughput");
     let mut table = Table::new(vec!["context", "estimator", "MAE (Mbps)", "bias (Mbps)"]);
     for ctx in [Context::QuietRoom, Context::Walking, Context::MovingVehicle] {
         // Observed per-segment throughputs from a Youtube run (continuous
@@ -57,7 +57,9 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table.render());
-    println!("the harmonic mean's negative bias is the point: it underestimates on");
-    println!("purpose, trading prediction accuracy for rebuffering safety.");
+    report
+        .table("", table)
+        .note("the harmonic mean's negative bias is the point: it underestimates on")
+        .note("purpose, trading prediction accuracy for rebuffering safety.");
+    report.emit();
 }

@@ -4,18 +4,18 @@
 //! energy. Sweeping it traces the Pareto front of the weighted-sum method
 //! (the paper's ref \[21\]); the paper's evaluation fixes η = 0.5.
 
-use ecas_bench::Table;
+use ecas_bench::{Report, Table};
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::{Approach, ExperimentRunner};
 
 fn main() {
     let session = EvalTraceSpec::table_v()[2].generate(); // vehicle-heavy trace 3
-    println!(
-        "eta sweep on {} ({}s, avg vibration {:.1} m/s^2)\n",
+    let mut report = Report::new(format!(
+        "eta sweep on {} ({}s, avg vibration {:.1} m/s^2)",
         session.meta().name,
         session.meta().video_length.value(),
         session.meta().avg_vibration.value()
-    );
+    ));
 
     let mut table = Table::new(vec![
         "eta",
@@ -36,6 +36,8 @@ fn main() {
             format!("{:.2}", optimal.mean_qoe.value()),
         ]);
     }
-    println!("{}", table.render());
-    println!("energy should fall and QoE should fall as eta grows (Pareto front).");
+    report
+        .table("", table)
+        .note("energy should fall and QoE should fall as eta grows (Pareto front).");
+    report.emit();
 }

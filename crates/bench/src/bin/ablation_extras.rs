@@ -1,7 +1,7 @@
 //! Ablation: the related-work extensions (BOLA, MPC) against the paper's
 //! five approaches, over the full Table V set.
 
-use ecas_bench::Table;
+use ecas_bench::{Report, Table};
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::{Approach, ComparisonSummary, ExperimentRunner};
 
@@ -14,7 +14,7 @@ fn main() {
     let approaches = Approach::all();
     let summary = ComparisonSummary::evaluate(&runner, &sessions, &approaches);
 
-    println!("Extensions: all implemented approaches over the Table V traces\n");
+    let mut report = Report::new("Extensions: all implemented approaches over the Table V traces");
     let mut table = Table::new(vec![
         "approach",
         "mean QoE",
@@ -31,7 +31,9 @@ fn main() {
             format!("{:.2}%", 100.0 * summary.mean_qoe_degradation(*a)),
         ]);
     }
-    println!("{}", table.render());
-    println!("BOLA and MPC are context-blind like FESTIVE/BBA: without the vibration");
-    println!("and signal models they cannot reach the energy savings of Ours/Optimal.");
+    report
+        .table("", table)
+        .note("BOLA and MPC are context-blind like FESTIVE/BBA: without the vibration")
+        .note("and signal models they cannot reach the energy savings of Ours/Optimal.");
+    report.emit();
 }

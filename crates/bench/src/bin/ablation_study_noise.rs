@@ -6,14 +6,14 @@
 //! twenty-subject design should stay accurate well past realistic noise
 //! levels (± ~1 nine-grade point).
 
-use ecas_bench::Table;
+use ecas_bench::{Report, Table};
 use ecas_core::qoe::impairment::VibrationImpairment;
 use ecas_core::qoe::quality::OriginalQuality;
 use ecas_core::qoe::study::{run_study_and_fit, StudyConfig, SubjectiveStudy};
 use ecas_core::types::units::{Mbps, MetersPerSec2};
 
 fn main() {
-    println!("rating-noise sweep of the Table III pipeline (20 subjects)\n");
+    let mut report = Report::new("rating-noise sweep of the Table III pipeline (20 subjects)");
     let truth_q = OriginalQuality::paper();
     let truth_i = VibrationImpairment::paper();
 
@@ -29,6 +29,18 @@ fn main() {
         config.rating_noise_std = noise;
         let study = SubjectiveStudy::new(config, truth_q, truth_i);
         let (params, quality_fit, _) = run_study_and_fit(&study).expect("design fits");
+        if !params.impairment.is_valid() {
+            // Extreme noise can push the fitted surface outside the model's
+            // admissible region (e.g. a negative bitrate exponent).
+            table.row(vec![
+                format!("{noise:.1}"),
+                "-".into(),
+                "-".into(),
+                "fit degenerate".into(),
+                format!("{:.4}", quality_fit.r_squared),
+            ]);
+            continue;
+        }
         let fitted_q = OriginalQuality::new(params.quality);
         let fitted_i = VibrationImpairment::new(params.impairment);
         let q_err =
@@ -44,6 +56,8 @@ fn main() {
             format!("{:.4}", quality_fit.r_squared),
         ]);
     }
-    println!("{}", table.render());
-    println!("(the paper's P.910 protocol corresponds to roughly 0.5-1.0 of noise)");
+    report
+        .table("", table)
+        .note("(the paper's P.910 protocol corresponds to roughly 0.5-1.0 of noise)");
+    report.emit();
 }

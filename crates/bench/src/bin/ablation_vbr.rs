@@ -5,7 +5,7 @@
 //! a VBR size table (high-motion content, ±25 % swings) and checks that
 //! the paper's conclusions survive the added realism.
 
-use ecas_bench::Table;
+use ecas_bench::{Report, Table};
 use ecas_core::sim::Simulator;
 use ecas_core::trace::vbr::SegmentSizes;
 use ecas_core::trace::videos::{EvalTraceSpec, TestVideo};
@@ -27,11 +27,11 @@ fn main() {
     let cbr_runner = ExperimentRunner::paper();
     let vbr_runner = ExperimentRunner::new(Simulator::paper(ladder).with_segment_sizes(sizes), 0.5);
 
-    println!(
-        "CBR vs VBR encodings on {} (VBR: {} segments, Battle-level motion)\n",
+    let mut report = Report::new(format!(
+        "CBR vs VBR encodings on {} (VBR: {} segments, Battle-level motion)",
         session.meta().name,
         segments
-    );
+    ));
     let mut table = Table::new(vec![
         "approach",
         "CBR energy (J)",
@@ -52,7 +52,9 @@ fn main() {
             format!("{:.1}", vbr.total_rebuffer.value()),
         ]);
     }
-    println!("{}", table.render());
-    println!("the ordering and the context-aware savings persist under VBR; only");
-    println!("the absolute energies shift by a few percent.");
+    report
+        .table("", table)
+        .note("the ordering and the context-aware savings persist under VBR; only")
+        .note("the absolute energies shift by a few percent.");
+    report.emit();
 }

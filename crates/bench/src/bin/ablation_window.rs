@@ -5,7 +5,7 @@
 //! Short windows react faster but overreact to fades; long windows are
 //! stable but stale.
 
-use ecas_bench::Table;
+use ecas_bench::{Report, Table};
 use ecas_core::abr::{Festive, Online};
 use ecas_core::sim::Simulator;
 use ecas_core::trace::videos::EvalTraceSpec;
@@ -14,7 +14,10 @@ use ecas_core::types::ladder::BitrateLadder;
 fn main() {
     let session = EvalTraceSpec::table_v()[2].generate();
     let sim = Simulator::paper(BitrateLadder::evaluation());
-    println!("estimator-window sweep on {}\n", session.meta().name);
+    let mut report = Report::new(format!(
+        "estimator-window sweep on {}",
+        session.meta().name
+    ));
 
     let mut table = Table::new(vec![
         "window",
@@ -38,5 +41,8 @@ fn main() {
             format!("{}", ours.switches),
         ]);
     }
-    println!("{}", table.render());
+    report
+        .table("", table)
+        .note("short windows overreact to fades; long windows go stale (k = 20 in the paper).");
+    report.emit();
 }

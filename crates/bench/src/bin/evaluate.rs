@@ -2,28 +2,51 @@
 //! report.
 //!
 //! ```text
-//! evaluate                # run the built-in paper evaluation scenario
-//! evaluate scenario.json  # run a custom scenario
-//! evaluate --print-template  # print a template scenario JSON to edit
+//! evaluate                      # run the built-in paper evaluation scenario
+//! evaluate scenario.json        # run a custom scenario
+//! evaluate --obs out/           # also write manifest, events, metrics
+//! evaluate --print-template     # print a template scenario JSON to edit
 //! ```
+//!
+//! With `--obs <dir>`, the run is fully instrumented: `<dir>/manifest.json`
+//! records seeds, ladder and configuration hash; `<dir>/events/` holds one
+//! deterministic JSONL event stream per `(trace, approach)` pair;
+//! `<dir>/timelines/` the matching per-segment tables; `<dir>/metrics.txt`
+//! the aggregate counters, spans and histograms.
 
 use std::fs::File;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ecas_core::{render_markdown, Scenario};
+use ecas_core::{observe, render_markdown, Scenario};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scenario = match args.first().map(String::as_str) {
-        None => Scenario::paper_evaluation(),
-        Some("--print-template") => {
-            let template = Scenario::paper_evaluation();
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&template).expect("template serializes")
-            );
-            return ExitCode::SUCCESS;
+    let mut obs_dir: Option<PathBuf> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--obs" => match args.next() {
+                Some(dir) => obs_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --obs requires an output directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--print-template" => {
+                let template = Scenario::paper_evaluation();
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&template).expect("template serializes")
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ => positional.push(arg),
         }
+    }
+
+    let scenario = match positional.first() {
+        None => Scenario::paper_evaluation(),
         Some(path) => {
             let file = match File::open(path) {
                 Ok(f) => f,
@@ -48,7 +71,19 @@ fn main() -> ExitCode {
         scenario.approaches.len(),
         scenario.eta
     );
-    let summary = scenario.run();
+    let summary = match &obs_dir {
+        Some(dir) => match observe::run_observed(&scenario, dir) {
+            Ok(summary) => {
+                eprintln!("observability artifacts written to {}", dir.display());
+                summary
+            }
+            Err(e) => {
+                eprintln!("error: cannot write artifacts to {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => scenario.run(),
+    };
     println!("{}", render_markdown(&scenario.name, &summary));
     ExitCode::SUCCESS
 }

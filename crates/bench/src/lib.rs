@@ -1,5 +1,7 @@
 //! Shared helpers for the table/figure regeneration binaries.
 
 pub mod render;
+pub mod report;
 
 pub use render::Table;
+pub use report::{Format, Report};

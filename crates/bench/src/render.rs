@@ -24,6 +24,16 @@ impl Table {
         self
     }
 
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The rows appended so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();

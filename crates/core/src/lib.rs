@@ -18,7 +18,8 @@
 //! * [`net`] — bandwidth estimators;
 //! * [`sim`] — the DASH player simulator;
 //! * [`abr`] — all bitrate controllers (Algorithm 1, the optimal planner,
-//!   FESTIVE, BBA, BOLA, MPC).
+//!   FESTIVE, BBA, BOLA, MPC);
+//! * [`obs`] — instrumentation: probes, metrics registry, run manifests.
 //!
 //! # Examples
 //!
@@ -41,6 +42,7 @@
 
 pub mod approach;
 pub mod metrics;
+pub mod observe;
 pub mod report;
 pub mod robustness;
 pub mod runner;
@@ -48,6 +50,7 @@ pub mod viewer;
 
 pub use approach::Approach;
 pub use metrics::{ComparisonSummary, TraceComparison};
+pub use observe::run_observed;
 pub use report::{render_markdown, Scenario, TraceSelection};
 pub use robustness::{table_v_robustness, RobustnessRow, SeedStat};
 pub use runner::ExperimentRunner;
@@ -55,6 +58,7 @@ pub use viewer::{expected_waste, quit_analysis, QuitAnalysis};
 
 pub use ecas_abr as abr;
 pub use ecas_net as net;
+pub use ecas_obs as obs;
 pub use ecas_power as power;
 pub use ecas_qoe as qoe;
 pub use ecas_sensors as sensors;

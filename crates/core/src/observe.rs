@@ -1,0 +1,227 @@
+//! Observed scenario runs: run manifests, JSONL event streams, metrics
+//! summaries and per-segment timelines written next to the results.
+//!
+//! [`run_observed`] replays a [`Scenario`] like [`Scenario::run`] but
+//! leaves a reproducibility trail in the output directory:
+//!
+//! ```text
+//! out/
+//!   manifest.json            # RunManifest: seeds, ladder, config hash
+//!   metrics.txt              # counters, gauges, spans, histograms
+//!   events/<trace>__<approach>.jsonl   # deterministic event streams
+//!   timelines/<trace>__<approach>.txt  # per-segment timeline tables
+//! ```
+//!
+//! Event files depend only on seeds and configuration, so a rerun of the
+//! same scenario produces byte-identical JSONL and an equal manifest hash
+//! — asserted by this crate's determinism tests.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use ecas_obs::render::{metrics_summary, segment_timeline};
+use ecas_obs::{stable_hash, JsonlRecorder, MetricsRegistry, RunManifest, TraceRef};
+use ecas_trace::videos::EvalTraceSpec;
+use ecas_types::ladder::LevelIndex;
+
+use crate::metrics::{ComparisonSummary, TraceComparison};
+use crate::report::{Scenario, TraceSelection};
+use crate::runner::ExperimentRunner;
+
+/// Builds the [`RunManifest`] describing a scenario run under `runner`.
+#[must_use]
+pub fn manifest(scenario: &Scenario, runner: &ExperimentRunner) -> RunManifest {
+    let ladder = runner.simulator().ladder();
+    RunManifest {
+        scenario: scenario.name.clone(),
+        crate_version: env!("CARGO_PKG_VERSION").to_string(),
+        eta: runner.eta(),
+        ladder_mbps: (0..ladder.len())
+            .map(|i| ladder.bitrate(LevelIndex::new(i)).value())
+            .collect(),
+        config_hash: format!("{:016x}", stable_hash(runner.simulator().config())),
+        traces: trace_refs(&scenario.traces),
+        approaches: scenario
+            .approaches
+            .iter()
+            .map(|a| a.label().to_string())
+            .collect(),
+    }
+}
+
+/// The `(name, seed)` pairs a selection generates, without materializing
+/// the traces.
+fn trace_refs(selection: &TraceSelection) -> Vec<TraceRef> {
+    let spec_ref = |s: &EvalTraceSpec| TraceRef {
+        name: format!("trace{}", s.id),
+        seed: s.seed,
+    };
+    match selection {
+        TraceSelection::TableV => EvalTraceSpec::table_v().iter().map(spec_ref).collect(),
+        TraceSelection::TableVSubset(ids) => {
+            let specs = EvalTraceSpec::table_v();
+            ids.iter()
+                .map(|id| {
+                    spec_ref(
+                        specs
+                            .iter()
+                            .find(|s| s.id == *id)
+                            .unwrap_or_else(|| panic!("no Table V trace with id {id}")),
+                    )
+                })
+                .collect()
+        }
+        TraceSelection::Synthetic {
+            context,
+            count,
+            base_seed,
+            ..
+        } => (0..*count)
+            .map(|i| TraceRef {
+                name: format!("{context}-{i}"),
+                seed: base_seed + u64::from(i),
+            })
+            .collect(),
+    }
+}
+
+/// `<trace>__<approach>` file stem for per-pair artifacts.
+fn pair_stem(trace: &str, approach_label: &str) -> String {
+    format!("{trace}__{}", approach_label.to_lowercase())
+}
+
+/// Runs a scenario with full instrumentation, writing the manifest, one
+/// JSONL event file and one timeline table per `(trace, approach)` pair,
+/// and an aggregate metrics summary into `dir`.
+///
+/// Returns the same [`ComparisonSummary`] as [`Scenario::run`] — built
+/// from the instrumented runs themselves, so nothing executes twice.
+///
+/// # Errors
+///
+/// Returns the I/O error if any artifact cannot be written.
+///
+/// # Panics
+///
+/// Panics on the same invalid inputs as [`Scenario::run`].
+pub fn run_observed(scenario: &Scenario, dir: &Path) -> io::Result<ComparisonSummary> {
+    let runner = ExperimentRunner::paper_with_eta(scenario.eta);
+    let events_dir = dir.join("events");
+    let timelines_dir = dir.join("timelines");
+    fs::create_dir_all(&events_dir)?;
+    fs::create_dir_all(&timelines_dir)?;
+
+    let manifest = manifest(scenario, &runner);
+    fs::write(
+        dir.join("manifest.json"),
+        format!("{}\n", manifest.to_json_pretty()),
+    )?;
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let sessions = scenario.traces.sessions();
+    let mut traces = Vec::with_capacity(sessions.len());
+    for session in &sessions {
+        let name = session.meta().name.clone();
+        let mut results = Vec::with_capacity(scenario.approaches.len());
+        for approach in &scenario.approaches {
+            let stem = pair_stem(&name, approach.label());
+            let recorder = JsonlRecorder::create_with_registry(
+                &events_dir.join(format!("{stem}.jsonl")),
+                Arc::clone(&registry),
+            )?;
+            let (result, log) = runner.run_with_probe(session, approach, &recorder);
+            recorder.flush()?;
+            let values: Vec<_> = log
+                .iter()
+                .map(|e| serde_json::to_value(e).expect("session event serializes"))
+                .collect();
+            fs::write(
+                timelines_dir.join(format!("{stem}.txt")),
+                segment_timeline(&values),
+            )?;
+            results.push(result);
+        }
+        traces.push(TraceComparison::from_results(
+            name,
+            runner.base_energy(session),
+            &scenario.approaches,
+            &results,
+        ));
+    }
+
+    fs::write(dir.join("metrics.txt"), metrics_summary(&registry.snapshot()))?;
+    Ok(ComparisonSummary { traces })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approach::Approach;
+    use ecas_trace::synth::context::Context;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            name: "observe-test".to_string(),
+            traces: TraceSelection::Synthetic {
+                context: Context::Walking,
+                seconds: 30.0,
+                count: 1,
+                base_seed: 11,
+            },
+            approaches: vec![Approach::Youtube, Approach::Ours],
+            eta: 0.5,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ecas-observe-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn manifest_covers_selection_and_config() {
+        let scenario = Scenario::paper_evaluation();
+        let runner = ExperimentRunner::paper();
+        let m = manifest(&scenario, &runner);
+        assert_eq!(m.traces.len(), 5);
+        assert_eq!(m.traces[0].name, "trace1");
+        assert_eq!(m.approaches.len(), scenario.approaches.len());
+        assert_eq!(m.ladder_mbps.len(), runner.simulator().ladder().len());
+        assert_eq!(m.config_hash.len(), 16);
+    }
+
+    #[test]
+    fn observed_run_writes_all_artifacts_and_matches_plain_run() {
+        let scenario = tiny_scenario();
+        let dir = temp_dir("artifacts");
+        let summary = run_observed(&scenario, &dir).unwrap();
+        assert_eq!(summary.traces.len(), 1);
+        // Matches the uninstrumented path.
+        assert_eq!(summary, scenario.run());
+
+        let manifest =
+            RunManifest::from_json(&fs::read_to_string(dir.join("manifest.json")).unwrap())
+                .unwrap();
+        assert_eq!(manifest.scenario, "observe-test");
+
+        let metrics = fs::read_to_string(dir.join("metrics.txt")).unwrap();
+        assert!(metrics.contains("sim/segments"), "{metrics}");
+        assert!(metrics.contains("sim/download"), "{metrics}");
+
+        for approach in ["youtube", "ours"] {
+            let stem = format!("walking-0__{approach}");
+            let events =
+                fs::read_to_string(dir.join("events").join(format!("{stem}.jsonl"))).unwrap();
+            assert!(events.lines().count() > 15, "{stem} too short");
+            assert!(events.lines().all(|l| l.starts_with('{')));
+            let timeline =
+                fs::read_to_string(dir.join("timelines").join(format!("{stem}.txt"))).unwrap();
+            // 15 segments of a 30 s video + header + rule.
+            assert_eq!(timeline.lines().count(), 17, "{timeline}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

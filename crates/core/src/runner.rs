@@ -1,6 +1,9 @@
 //! The experiment runner: approaches × traces, optionally in parallel.
 
+use ecas_abr::InstrumentedBox;
+use ecas_obs::{Probe, SpanGuard};
 use ecas_sim::controller::FixedLevel;
+use ecas_sim::events::EventLog;
 use ecas_sim::result::SessionResult;
 use ecas_sim::Simulator;
 use ecas_trace::session::SessionTrace;
@@ -70,6 +73,25 @@ impl ExperimentRunner {
     pub fn run(&self, session: &SessionTrace, approach: &Approach) -> SessionResult {
         let mut controller = approach.controller_with_eta(&self.simulator, session, self.eta);
         self.simulator.run(session, controller.as_mut())
+    }
+
+    /// Like [`Self::run`] but instrumented: the whole run is timed under a
+    /// `core/run` span, the controller is wrapped so every decision is
+    /// timed under `abr/decide/<name>`, the simulator streams its events
+    /// and metrics into `probe`, and the session's [`EventLog`] is
+    /// returned alongside the result.
+    #[must_use]
+    pub fn run_with_probe(
+        &self,
+        session: &SessionTrace,
+        approach: &Approach,
+        probe: &dyn Probe,
+    ) -> (SessionResult, EventLog) {
+        let _run_span = SpanGuard::new(probe, "core/run");
+        let controller = approach.controller_with_eta(&self.simulator, session, self.eta);
+        let mut instrumented = InstrumentedBox::new(controller, probe);
+        self.simulator
+            .run_logged_with_probe(session, &mut instrumented, probe)
     }
 
     /// Runs every `(session, approach)` pair sequentially, returning
@@ -210,6 +232,20 @@ mod tests {
         let seq = runner.run_grid(&sessions, &approaches);
         let par = runner.run_grid_parallel(&sessions, &approaches);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn probed_run_matches_plain_run() {
+        let runner = ExperimentRunner::paper();
+        let s = short_session();
+        let recorder = ecas_obs::MemoryRecorder::new();
+        let (probed, log) = runner.run_with_probe(&s, &Approach::Ours, &recorder);
+        let plain = runner.run(&s, &Approach::Ours);
+        assert_eq!(probed, plain);
+        assert_eq!(recorder.events().len(), log.len());
+        let snap = recorder.metrics().snapshot();
+        assert_eq!(snap.span("core/run").unwrap().count, 1);
+        assert!(snap.span("abr/decide/ours").unwrap().count >= log.decisions().len() as u64);
     }
 
     #[test]

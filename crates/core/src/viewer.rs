@@ -72,7 +72,10 @@ pub fn quit_analysis(
         .sum();
     let playhead =
         (quit - result.startup_delay.value() - stalls_before).clamp(0.0, result.played.value());
-    let watched_segments = (playhead / tau).floor() as usize;
+    // Epsilon absorbs rounding in `quit - startup - stalls`: at the exact
+    // end of a session the playhead can land a few ulps short of a segment
+    // boundary, which would misclassify the final played segment as wasted.
+    let watched_segments = (playhead / tau + 1e-9).floor() as usize;
 
     let mut wasted_segments = 0usize;
     let mut wasted_data = 0.0;

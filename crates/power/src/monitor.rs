@@ -8,6 +8,7 @@
 //! rate with measurement noise and integrated, yielding the "measured"
 //! energy that Table VI compares against the model's "calculated" energy.
 
+use ecas_obs::{Probe, SpanGuard};
 use ecas_trace::sample::PowerSample;
 use ecas_trace::series::TimeSeries;
 use ecas_types::units::{Joules, Seconds, Watts};
@@ -138,6 +139,31 @@ impl PowerMonitor {
     /// seed.
     #[must_use]
     pub fn measure(&self, profile: &PowerProfile) -> TimeSeries<PowerSample> {
+        self.measure_with_probe(profile, &ecas_obs::NULL_PROBE)
+    }
+
+    /// Like [`Self::measure`] but instrumented: the sampling sweep is
+    /// timed under a `power/measure` span and the measured/exact energies
+    /// land in `power/measured_j` / `power/exact_j` gauges, mirroring the
+    /// paper's Table VI "measured vs calculated" comparison.
+    #[must_use]
+    pub fn measure_with_probe(
+        &self,
+        profile: &PowerProfile,
+        probe: &dyn Probe,
+    ) -> TimeSeries<PowerSample> {
+        let span = SpanGuard::new(probe, "power/measure");
+        let trace = self.sample(profile);
+        drop(span);
+        if probe.metrics_enabled() {
+            probe.add("power/measurements", 1);
+            probe.gauge("power/measured_j", trace.integrate_energy().value());
+            probe.gauge("power/exact_j", profile.exact_energy().value());
+        }
+        trace
+    }
+
+    fn sample(&self, profile: &PowerProfile) -> TimeSeries<PowerSample> {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let dt = 1.0 / self.sample_rate_hz;
         let steps = (profile.duration().value() * self.sample_rate_hz).ceil() as usize + 1;
@@ -216,6 +242,21 @@ mod tests {
                 assert_eq!(s.power, Watts::new(3.0));
             }
         }
+    }
+
+    #[test]
+    fn probed_measurement_records_energy_gauges() {
+        let mut p = PowerProfile::new();
+        p.add(Seconds::new(0.0), Seconds::new(10.0), Watts::new(2.0));
+        let monitor = PowerMonitor::new(500.0, 0.01, 5);
+        let recorder = ecas_obs::MemoryRecorder::new();
+        let trace = monitor.measure_with_probe(&p, &recorder);
+        assert_eq!(trace, monitor.measure(&p), "probe must not perturb sampling");
+        let snap = recorder.metrics().snapshot();
+        assert_eq!(snap.counter("power/measurements"), Some(1));
+        assert_eq!(snap.span("power/measure").unwrap().count, 1);
+        assert!((snap.gauge("power/exact_j").unwrap() - 20.0).abs() < 1e-12);
+        assert!((snap.gauge("power/measured_j").unwrap() - 20.0).abs() < 0.5);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The trace-driven player simulator.
 
+use ecas_obs::{Probe, SpanGuard, NULL_PROBE};
 use ecas_power::model::PowerModel;
 use ecas_qoe::model::QoeModel;
 use ecas_sensors::vibration::VibrationEstimator;
@@ -31,7 +32,9 @@ pub struct Simulator {
 }
 
 /// Mutable playback state during a run (times in raw seconds).
-struct PlayState {
+struct PlayState<'p> {
+    /// Instrumentation sink (the null probe when nobody listens).
+    probe: &'p dyn Probe,
     playing: bool,
     finished: bool,
     in_stall: bool,
@@ -49,9 +52,10 @@ struct PlayState {
     events: Option<EventLog>,
 }
 
-impl PlayState {
-    fn new(video_len: f64, tau: f64) -> Self {
+impl<'p> PlayState<'p> {
+    fn new(video_len: f64, tau: f64, probe: &'p dyn Probe) -> Self {
         Self {
+            probe,
             playing: false,
             finished: false,
             in_stall: false,
@@ -69,6 +73,10 @@ impl PlayState {
     }
 
     fn log(&mut self, event: SessionEvent) {
+        if self.probe.events_enabled() {
+            let value = serde_json::to_value(&event).expect("session event serializes");
+            self.probe.emit(&value);
+        }
         if let Some(log) = self.events.as_mut() {
             log.push(event);
         }
@@ -189,6 +197,7 @@ impl Simulator {
                 // Stall until more data arrives (i.e. until `to`).
                 if !state.in_stall {
                     state.in_stall = true;
+                    state.probe.add("sim/stalls", 1);
                     state.log(SessionEvent::StallStart {
                         at: Seconds::new(t),
                     });
@@ -238,7 +247,7 @@ impl Simulator {
         session: &SessionTrace,
         controller: &mut dyn BitrateController,
     ) -> SessionResult {
-        self.run_inner(session, controller, false).0
+        self.run_inner(session, controller, false, &NULL_PROBE).0
     }
 
     /// Like [`Self::run`] but also records a timestamped [`EventLog`] of
@@ -249,7 +258,34 @@ impl Simulator {
         session: &SessionTrace,
         controller: &mut dyn BitrateController,
     ) -> (SessionResult, EventLog) {
-        let (result, log) = self.run_inner(session, controller, true);
+        let (result, log) = self.run_inner(session, controller, true, &NULL_PROBE);
+        (result, log.expect("logging was requested"))
+    }
+
+    /// Like [`Self::run`] but streams instrumentation into `probe`:
+    /// session events (when [`Probe::events_enabled`]), wall-clock spans
+    /// for every decision and download, counters for segments, stalls,
+    /// deferrals, idle waits and level switches, throughput/stall
+    /// histograms, and final per-component energy gauges.
+    #[must_use]
+    pub fn run_with_probe(
+        &self,
+        session: &SessionTrace,
+        controller: &mut dyn BitrateController,
+        probe: &dyn Probe,
+    ) -> SessionResult {
+        self.run_inner(session, controller, false, probe).0
+    }
+
+    /// [`Self::run_logged`] and [`Self::run_with_probe`] combined.
+    #[must_use]
+    pub fn run_logged_with_probe(
+        &self,
+        session: &SessionTrace,
+        controller: &mut dyn BitrateController,
+        probe: &dyn Probe,
+    ) -> (SessionResult, EventLog) {
+        let (result, log) = self.run_inner(session, controller, true, probe);
         (result, log.expect("logging was requested"))
     }
 
@@ -258,6 +294,7 @@ impl Simulator {
         session: &SessionTrace,
         controller: &mut dyn BitrateController,
         log_events: bool,
+        probe: &dyn Probe,
     ) -> (SessionResult, Option<EventLog>) {
         let tau = self.config.segment_duration.value();
         let video_len = session.meta().video_length.value();
@@ -271,7 +308,7 @@ impl Simulator {
         let signal = session.signal();
         let accel = session.accel().as_slice();
 
-        let mut state = PlayState::new(video_len, tau);
+        let mut state = PlayState::new(video_len, tau, probe);
         if log_events {
             state.events = Some(EventLog::new());
         }
@@ -294,6 +331,7 @@ impl Simulator {
             // 1. If the buffer is too full for another segment, idle.
             if state.buffer > b_max - tau {
                 let wait = state.buffer - (b_max - tau);
+                probe.add("sim/idle_waits", 1);
                 state.log(SessionEvent::IdleWait {
                     at: Seconds::new(t),
                     duration: Seconds::new(wait),
@@ -306,6 +344,7 @@ impl Simulator {
             // honor deferrals (re-deciding after each wait) while the
             // buffer affords them.
             let mut vibration;
+            let decision_span = SpanGuard::new(probe, "sim/decision");
             let level = loop {
                 while accel_cursor < accel.len() && accel[accel_cursor].time.value() <= t {
                     estimator.push(accel[accel_cursor]);
@@ -336,6 +375,7 @@ impl Simulator {
                         // Waiting is bounded by the buffer slack so a
                         // deferral can never cause a stall by itself.
                         let wait = wait.value().clamp(0.05, state.buffer - tau);
+                        probe.add("sim/deferrals", 1);
                         state.log(SessionEvent::Deferred {
                             at: Seconds::new(t),
                             duration: Seconds::new(wait),
@@ -345,6 +385,7 @@ impl Simulator {
                     }
                 }
             };
+            drop(decision_span);
             assert!(
                 level.value() < self.ladder.len(),
                 "controller {} returned out-of-range level {level}",
@@ -382,6 +423,7 @@ impl Simulator {
             state.stall_this_task = 0.0;
             let mut remaining_mb = size.value();
             let mut radio_energy_task = 0.0;
+            let download_span = SpanGuard::new(probe, "sim/download");
             while remaining_mb > 1e-12 {
                 let thr = network
                     .throughput_at(Seconds::new(t))
@@ -404,6 +446,7 @@ impl Simulator {
                 t = chunk_end;
             }
             let download_end = t;
+            drop(download_span);
             last_burst_end = Some(download_end);
             radio_energy_total += radio_energy_task;
             downloaded_total += size.value();
@@ -447,6 +490,14 @@ impl Simulator {
             if let Some(p) = prev_level {
                 if p != level {
                     switches += 1;
+                    probe.add("sim/level_switches", 1);
+                }
+            }
+            probe.add("sim/segments", 1);
+            if probe.metrics_enabled() {
+                probe.observe("sim/throughput_mbps", observed.value());
+                if state.stall_this_task > 0.0 {
+                    probe.observe("sim/stall_seconds", state.stall_this_task);
                 }
             }
             tasks.push(TaskRecord {
@@ -495,6 +546,15 @@ impl Simulator {
         };
         let mean_qoe =
             QoeScore::new(tasks.iter().map(|x| x.qoe.value()).sum::<f64>() / tasks.len() as f64);
+
+        if probe.metrics_enabled() {
+            probe.gauge("sim/energy/screen_j", energy.screen.value());
+            probe.gauge("sim/energy/decode_j", energy.decode.value());
+            probe.gauge("sim/energy/radio_j", energy.radio.value());
+            probe.gauge("sim/energy/tail_j", energy.tail.value());
+            probe.gauge("sim/rebuffer_s", state.stall_total);
+            probe.gauge("sim/mean_qoe", mean_qoe.value());
+        }
 
         let result = SessionResult {
             controller: controller.name(),
@@ -665,6 +725,27 @@ mod tests {
             r.startup_delay,
             r.total_rebuffer
         );
+    }
+
+    #[test]
+    fn probe_collects_metrics_and_events_without_changing_results() {
+        let s = session(Context::Walking, 60.0, 13);
+        let recorder = ecas_obs::MemoryRecorder::new();
+        let probed = sim().run_with_probe(&s, &mut FixedLevel::highest(), &recorder);
+        let plain = sim().run(&s, &mut FixedLevel::highest());
+        assert_eq!(probed, plain, "instrumentation must not perturb the run");
+
+        let snapshot = recorder.metrics().snapshot();
+        assert_eq!(snapshot.counter("sim/segments"), Some(30));
+        assert_eq!(snapshot.span("sim/decision").unwrap().count, 30);
+        assert_eq!(snapshot.span("sim/download").unwrap().count, 30);
+        assert_eq!(snapshot.histogram("sim/throughput_mbps").unwrap().count, 30);
+        assert!(snapshot.gauge("sim/energy/screen_j").unwrap() > 0.0);
+
+        // Event stream mirrors the event log: same decisions, downloads.
+        let fresh = ecas_obs::MemoryRecorder::new();
+        let (_, log) = sim().run_logged_with_probe(&s, &mut FixedLevel::highest(), &fresh);
+        assert_eq!(fresh.events().len(), log.len());
     }
 
     #[test]

@@ -130,7 +130,7 @@ impl EvalTraceSpec {
                 length: Seconds::new(len),
                 data_size: MegaBytes::new(size),
                 avg_vibration: MetersPerSec2::new(vib),
-                seed: 0xECA5_0000 + u64::from(id),
+                seed: 0xECA5_0900 + u64::from(id),
             })
             .collect()
     }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Offline-friendly CI gate. Everything this script needs is vendored in-tree
+# (see vendor/), so it must pass with no network access and no extra tools
+# beyond a stock Rust toolchain.
+#
+# Usage: scripts/ci.sh [--quick]
+#   --quick   skip clippy (build + test only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        *)
+            echo "unknown argument: $arg" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo "==> build (release)"
+cargo build --release --workspace
+
+echo "==> test (workspace)"
+cargo test -q --workspace
+
+if [ "$quick" -eq 0 ]; then
+    if command -v cargo-clippy >/dev/null 2>&1; then
+        echo "==> clippy (deny warnings)"
+        cargo clippy --workspace --all-targets --release -- -D warnings
+    else
+        echo "==> clippy not installed; skipping lint step"
+    fi
+fi
+
+echo "==> smoke: evaluate --obs"
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+./target/release/evaluate --obs "$obs_dir" >/dev/null
+for artifact in manifest.json metrics.txt events timelines; do
+    if [ ! -e "$obs_dir/$artifact" ]; then
+        echo "missing observability artifact: $artifact" >&2
+        exit 1
+    fi
+done
+
+echo "CI OK"

@@ -1,0 +1,305 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking API subset the workspace uses —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`] — with a
+//! simple wall-clock measurement loop: warm up, calibrate iterations per
+//! sample, then report mean / min / max over the sample set.
+//!
+//! Like the real crate, running under `cargo test` (no `--bench` flag in
+//! the arguments) executes each benchmark body once so test runs stay
+//! fast; full measurement happens under `cargo bench`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    quick: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            quick: true,
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments: full measurement when
+    /// invoked with `--bench` (what `cargo bench` passes), single-shot
+    /// smoke mode otherwise (what `cargo test` does).
+    #[must_use]
+    pub fn from_args() -> Self {
+        Self {
+            quick: !std::env::args().any(|a| a == "--bench"),
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.quick, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, self.criterion.quick, samples, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, self.criterion.quick, samples, &mut |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    #[must_use]
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` arguments.
+pub trait IntoBenchmarkId {
+    /// Converts self into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Mean nanoseconds per iteration, filled after `iter` returns.
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+enum BencherMode {
+    /// Run the body once (test mode).
+    Quick,
+    /// Timed run with the given sample count.
+    Measure { samples: usize },
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly, timing it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BencherMode::Quick => {
+                black_box(f());
+            }
+            BencherMode::Measure { samples } => {
+                // Warm up and calibrate: how many iterations fit ~5 ms?
+                let warmup_budget = Duration::from_millis(50);
+                let warmup_start = Instant::now();
+                let mut warmup_iters: u64 = 0;
+                while warmup_start.elapsed() < warmup_budget {
+                    black_box(f());
+                    warmup_iters += 1;
+                }
+                let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+                let iters_per_sample = ((0.005 / per_iter).ceil() as u64).max(1);
+
+                let mut means = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(f());
+                    }
+                    means.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+                }
+                self.mean_ns = means.iter().sum::<f64>() / means.len() as f64;
+                self.min_ns = means.iter().copied().fold(f64::INFINITY, f64::min);
+                self.max_ns = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            }
+        }
+    }
+}
+
+fn run_benchmark(label: &str, quick: bool, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        mode: if quick {
+            BencherMode::Quick
+        } else {
+            BencherMode::Measure { samples }
+        },
+        mean_ns: f64::NAN,
+        min_ns: f64::NAN,
+        max_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    if quick {
+        println!("{label}: ok (smoke run)");
+    } else if bencher.mean_ns.is_nan() {
+        println!("{label}: no measurement (Bencher::iter never called)");
+    } else {
+        println!(
+            "{label}\n    time: [{} {} {}]",
+            format_ns(bencher.min_ns),
+            format_ns(bencher.mean_ns),
+            format_ns(bencher.max_ns)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function calling each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_mode_runs_body_once() {
+        let mut calls = 0;
+        let mut criterion = super::Criterion::default();
+        criterion.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_numbers() {
+        let mut criterion = super::Criterion {
+            quick: false,
+            sample_size: 3,
+        };
+        let mut ran = false;
+        criterion.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(super::format_ns(12.3).contains("ns"));
+        assert!(super::format_ns(12_300.0).contains("µs"));
+        assert!(super::format_ns(12_300_000.0).contains("ms"));
+    }
+}

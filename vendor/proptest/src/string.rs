@@ -1,0 +1,235 @@
+//! String generation from a small regex subset.
+//!
+//! Supports the patterns the workspace tests use: sequences of atoms
+//! (`.`, `[class]` with ranges and `^` negation, or literal characters)
+//! each followed by an optional quantifier (`*`, `+`, `?`, `{m}`,
+//! `{m,n}`). Anything else (alternation, groups, anchors) panics with a
+//! clear message so unsupported patterns fail loudly instead of
+//! generating the wrong distribution.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+enum Atom {
+    /// `.` — any printable character (plus a few multi-byte ones).
+    Any,
+    /// A character class, pre-expanded to its candidate characters.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug)]
+struct Quant {
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on regex constructs outside the supported subset.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for (atom, quant) in &atoms {
+        let count = if quant.min == quant.max {
+            quant.min
+        } else {
+            rng.usize_in(quant.min..quant.max + 1)
+        };
+        for _ in 0..count {
+            out.push(match atom {
+                Atom::Any => ANY_POOL[rng.usize_in(0..ANY_POOL.len())],
+                Atom::Class(chars) => chars[rng.usize_in(0..chars.len())],
+                Atom::Literal(c) => *c,
+            });
+        }
+    }
+    out
+}
+
+/// Candidate characters for `.`: printable ASCII plus a handful of
+/// multi-byte characters so UTF-8 handling gets exercised.
+const ANY_POOL: &[char] = &[
+    ' ', '!', '"', '#', '$', '%', '&', '\'', '(', ')', '*', '+', ',', '-', '.', '/', '0', '1',
+    '2', '3', '4', '5', '6', '7', '8', '9', ':', ';', '<', '=', '>', '?', '@', 'A', 'B', 'C',
+    'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U',
+    'V', 'W', 'X', 'Y', 'Z', '[', '\\', ']', '^', '_', '`', 'a', 'b', 'c', 'd', 'e', 'f', 'g',
+    'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's', 't', 'u', 'v', 'w', 'x', 'y',
+    'z', '{', '|', '}', '~', 'é', 'λ', '中', '𝛼',
+];
+
+fn parse(pattern: &str) -> Vec<(Atom, Quant)> {
+    let mut chars = pattern.chars().peekable();
+    let mut out = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                Atom::Literal(unescape(escaped))
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex construct `{c}` in pattern {pattern:?}")
+            }
+            other => Atom::Literal(other),
+        };
+        let quant = parse_quant(&mut chars, pattern, matches!(atom, Atom::Any));
+        out.push((atom, quant));
+    }
+    out
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Atom {
+    let negated = chars.peek() == Some(&'^');
+    if negated {
+        chars.next();
+    }
+    let mut members: Vec<char> = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                members.push(unescape(escaped));
+            }
+            lo => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    let hi = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated range in pattern {pattern:?}"));
+                    assert!(hi != ']', "dangling `-` in class in pattern {pattern:?}");
+                    assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                    members.extend((lo..=hi).filter(char::is_ascii));
+                } else {
+                    members.push(lo);
+                }
+            }
+        }
+    }
+    if negated {
+        let candidates: Vec<char> = (' '..='~').filter(|c| !members.contains(c)).collect();
+        assert!(
+            !candidates.is_empty(),
+            "negated class excludes all printable ASCII in pattern {pattern:?}"
+        );
+        Atom::Class(candidates)
+    } else {
+        assert!(!members.is_empty(), "empty class in pattern {pattern:?}");
+        Atom::Class(members)
+    }
+}
+
+fn parse_quant(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+    wide: bool,
+) -> Quant {
+    // `.*` gets a wider default span than `x*` so arbitrary-string
+    // patterns produce interestingly long inputs.
+    let star_max = if wide { 32 } else { 8 };
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            Quant { min: 0, max: star_max }
+        }
+        Some('+') => {
+            chars.next();
+            Quant { min: 1, max: star_max }
+        }
+        Some('?') => {
+            chars.next();
+            Quant { min: 0, max: 1 }
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated quantifier in pattern {pattern:?}"),
+                }
+            }
+            let (min, max) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{spec}}} in pattern {pattern:?}")
+                    }),
+                    hi.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{spec}}} in pattern {pattern:?}")
+                    }),
+                ),
+                None => {
+                    let n = spec.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{spec}}} in pattern {pattern:?}")
+                    });
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            Quant { min, max }
+        }
+        _ => Quant { min: 1, max: 1 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_patterns_match_their_alphabet() {
+        let mut rng = TestRng::for_test("class_patterns");
+        for _ in 0..200 {
+            let s = super::generate("[A-Za-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn negated_class_excludes_members() {
+        let mut rng = TestRng::for_test("negated_class");
+        for _ in 0..200 {
+            let s = super::generate("[^\"<>]{0,12}", &mut rng);
+            assert!(s.len() <= 12, "{s:?}");
+            assert!(!s.contains(['"', '<', '>']), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_star_produces_varied_strings() {
+        let mut rng = TestRng::for_test("dot_star");
+        let all: Vec<String> = (0..50).map(|_| super::generate(".*", &mut rng)).collect();
+        assert!(all.iter().any(String::is_empty));
+        assert!(all.iter().any(|s| s.chars().count() > 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn groups_are_rejected() {
+        let mut rng = TestRng::for_test("groups");
+        super::generate("(ab)+", &mut rng);
+    }
+}

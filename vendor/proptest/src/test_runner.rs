@@ -1,0 +1,108 @@
+//! Test-case configuration, errors, and the deterministic RNG behind
+//! strategy generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-test configuration, set via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` — not a failure.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+
+    /// A discard with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Reject(m) => write!(f, "rejected: {m}"),
+            Self::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// What a property body returns after the macro wraps it.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic generator handed to strategies.
+///
+/// Seeded from the test's module path and name, so every run of a given
+/// test binary generates the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for the named test (FNV-1a of the name → seed).
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            inner: SmallRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Draws 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Draws uniformly from a range of any supported numeric type.
+    pub fn sample<T, S: rand::SampleRange<T>>(&mut self, range: S) -> T {
+        self.inner.gen_range(range)
+    }
+
+    /// Draws a `usize` uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty size range");
+        self.inner.gen_range(range)
+    }
+
+    /// Returns `true` with probability `num / den`.
+    pub fn ratio(&mut self, num: u32, den: u32) -> bool {
+        self.inner.gen_range(0..u64::from(den)) < u64::from(num)
+    }
+}

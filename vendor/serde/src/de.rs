@@ -1,0 +1,254 @@
+//! Deserialization: [`Value`] → types.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error with an arbitrary message.
+    #[must_use]
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, found Y" error.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::custom(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Missing-field error for struct deserialization.
+    #[must_use]
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self::custom(format!("missing field `{field}` in {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of the data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+fn int_from_value(v: &Value) -> Result<i128, Error> {
+    match *v {
+        Value::Int(i) => Ok(i128::from(i)),
+        Value::UInt(u) => Ok(i128::from(u)),
+        Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.3e18 => Ok(f as i128),
+        ref other => Err(Error::expected("integer", other)),
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = int_from_value(v)?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!(
+                        "integer {raw} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+/// Deserializing into `&'static str` requires giving the string a
+/// `'static` lifetime, which for owned JSON input is only possible by
+/// leaking. The workspace uses `&'static str` fields solely for small
+/// documented tables (genre names and similar), so the leak is bounded
+/// and acceptable — mirroring how real serde only supports borrowed
+/// strings when the input outlives the value.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(|s| &*s.leak())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(Error::expected(
+                        concat!("array of length ", stringify!($len)),
+                        other,
+                    )),
+                }
+            }
+        }
+    )+};
+}
+de_tuple!(
+    (1; 0 A),
+    (2; 0 A, 1 B),
+    (3; 0 A, 1 B, 2 C),
+    (4; 0 A, 1 B, 2 C, 3 D)
+);
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(Error::expected("object", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(Error::expected("object", other)),
+        }
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+// --- helpers used by the generated derive code ---------------------------
+
+/// Views a value as an object, or errors with the container name.
+pub fn as_object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+    match v {
+        Value::Object(entries) => Ok(entries),
+        other => Err(Error::custom(format!(
+            "expected {ty} object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Views a value as an array of exactly `len` elements.
+pub fn as_array<'v>(v: &'v Value, ty: &str, len: usize) -> Result<&'v [Value], Error> {
+    match v {
+        Value::Array(items) if items.len() == len => Ok(items),
+        Value::Array(items) => Err(Error::custom(format!(
+            "expected {ty} array of {len} elements, found {}",
+            items.len()
+        ))),
+        other => Err(Error::custom(format!(
+            "expected {ty} array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Extracts and deserializes one struct field. A missing field is retried
+/// against `Value::Null` so `Option` fields default to `None`, mirroring
+/// serde's behavior; any other type reports a missing-field error.
+pub fn field<T: Deserialize>(
+    entries: &[(String, Value)],
+    ty: &str,
+    name: &str,
+) -> Result<T, Error> {
+    match entries.iter().rev().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| Error::custom(format!("field `{name}` of {ty}: {e}"))),
+        None => T::from_value(&Value::Null).map_err(|_| Error::missing_field(ty, name)),
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the subset of serde the workspace actually uses: `Serialize` /
+//! `Deserialize` traits over a JSON-shaped [`Value`] data model, derive
+//! macros (re-exported from the in-tree `serde_derive`), and the container
+//! attributes `transparent`, `from`, `try_from` and `into`.
+//!
+//! The trait shape is intentionally simpler than real serde (no
+//! `Serializer` / `Visitor` plumbing): types convert to and from [`Value`]
+//! directly, and `serde_json` renders values to text. That covers every
+//! `#[derive(Serialize, Deserialize)]` + `serde_json::{to_string,
+//! from_str, ...}` call in the workspace while staying a few hundred lines.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;

@@ -1,0 +1,98 @@
+//! The JSON-shaped data model shared by `serde` and `serde_json`.
+
+use std::fmt;
+
+/// A self-describing value: the intermediate representation every
+/// `Serialize` impl produces and every `Deserialize` impl consumes.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent, negative).
+    Int(i64),
+    /// Unsigned integer (JSON number without fraction/exponent).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object. Insertion order is preserved (struct field order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object (last occurrence wins, like serde_json).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any kind of number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's type for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            // Objects compare as maps: order-insensitive, keyed lookup.
+            (Value::Object(a), Value::Object(b)) => {
+                a.len() == b.len()
+                    && a.iter().all(|(k, v)| other.get(k) == Some(v))
+                    && b.iter().all(|(k, v)| self.get(k) == Some(v))
+            }
+            // Numbers compare across representations, like serde_json.
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::ser::to_compact_string(self))
+    }
+}

@@ -1,0 +1,721 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree serde stand-in.
+//!
+//! The build environment has no registry access, so this proc macro is
+//! written against the bare `proc_macro` API (no `syn`, no `quote`): it
+//! walks the raw token trees of the item, extracts the shape (named
+//! struct, tuple struct, enum) and the container attributes the workspace
+//! uses (`transparent`, `from`, `try_from`, `into`), and emits impls of
+//! the simplified `serde::Serialize` / `serde::Deserialize` traits as a
+//! string that is re-parsed into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! * named-field structs, generic or not, with optional `where` clauses;
+//! * tuple structs (newtypes serialize transparently, like real serde);
+//! * enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, like real serde's default representation).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// --------------------------------------------------------------------------
+// Parsed shape
+// --------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    from: Option<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// The declaration generics verbatim, e.g. `< T : Clone >` (or empty).
+    generics_decl: String,
+    /// Just the type-parameter idents, e.g. `["T"]`.
+    generic_idents: Vec<String>,
+    /// The `where` clause predicates verbatim (without `where`), or empty.
+    where_clause: String,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+// --------------------------------------------------------------------------
+// Token-tree parsing
+// --------------------------------------------------------------------------
+
+fn is_punct(tt: Option<&TokenTree>, c: char) -> bool {
+    matches!(tt, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(tt: Option<&TokenTree>, s: &str) -> bool {
+    matches!(tt, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+fn ident_string(tt: Option<&TokenTree>) -> Option<String> {
+    match tt {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn tts_to_string(tts: &[TokenTree]) -> String {
+    tts.iter()
+        .map(std::string::ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Consumes leading `#[...]` attributes, folding `#[serde(...)]` contents
+/// into `attrs`. Returns the new cursor position.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, attrs: &mut ContainerAttrs) -> usize {
+    while is_punct(tokens.get(i), '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                parse_serde_attr(&g.stream().into_iter().collect::<Vec<_>>(), attrs);
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    i
+}
+
+/// Parses the inside of one `#[...]`; only `serde(...)` is interpreted.
+fn parse_serde_attr(inner: &[TokenTree], attrs: &mut ContainerAttrs) {
+    if !is_ident(inner.first(), "serde") {
+        return;
+    }
+    let Some(TokenTree::Group(g)) = inner.get(1) else {
+        return;
+    };
+    let items: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < items.len() {
+        let key = match ident_string(items.get(j)) {
+            Some(k) => k,
+            None => {
+                j += 1;
+                continue;
+            }
+        };
+        if is_punct(items.get(j + 1), '=') {
+            let value = match items.get(j + 2) {
+                Some(TokenTree::Literal(lit)) => {
+                    let raw = lit.to_string();
+                    raw.trim_matches('"').to_string()
+                }
+                _ => String::new(),
+            };
+            match key.as_str() {
+                "from" => attrs.from = Some(value),
+                "try_from" => attrs.try_from = Some(value),
+                "into" => attrs.into = Some(value),
+                other => panic!("unsupported serde attribute `{other} = ...`"),
+            }
+            j += 4; // key = "value" ,
+        } else {
+            match key.as_str() {
+                "transparent" => attrs.transparent = true,
+                other => panic!("unsupported serde attribute `{other}`"),
+            }
+            j += 2; // key ,
+        }
+    }
+}
+
+/// Extracts the type-parameter idents from the tokens inside `<...>`
+/// (excluding the angle brackets themselves).
+fn generic_param_idents(tokens: &[TokenTree]) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut depth = 0usize;
+    let mut at_param_start = true;
+    let mut k = 0;
+    while k < tokens.len() {
+        match &tokens[k] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => at_param_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' && at_param_start => {
+                // Lifetime parameter: skip the following ident.
+                k += 1;
+                at_param_start = false;
+            }
+            TokenTree::Ident(id) if at_param_start => {
+                let s = id.to_string();
+                if s == "const" {
+                    // `const N : usize` — the next ident is the name.
+                    if let Some(name) = ident_string(tokens.get(k + 1)) {
+                        idents.push(name);
+                    }
+                    k += 1;
+                } else {
+                    idents.push(s);
+                }
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    idents
+}
+
+/// Parses field names out of a named-fields brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = ContainerAttrs::default();
+        i = skip_attrs(&tokens, i, &mut ignored);
+        if i >= tokens.len() {
+            break;
+        }
+        if is_ident(tokens.get(i), "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let name = ident_string(tokens.get(i)).expect("expected field name");
+        names.push(name);
+        i += 1;
+        assert!(is_punct(tokens.get(i), ':'), "expected `:` after field name");
+        i += 1;
+        // Consume the type: everything until a top-level comma.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts fields in a tuple group by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for tt in &tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses enum variants out of the enum body brace group.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = ContainerAttrs::default();
+        i = skip_attrs(&tokens, i, &mut ignored);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_string(tokens.get(i)).expect("expected variant name");
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                i += 1;
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() && !is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut i = skip_attrs(&tokens, 0, &mut attrs);
+
+    if is_ident(tokens.get(i), "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+
+    let kind = ident_string(tokens.get(i)).expect("expected `struct` or `enum`");
+    assert!(
+        kind == "struct" || kind == "enum",
+        "derive target must be a struct or enum, found `{kind}`"
+    );
+    i += 1;
+    let name = ident_string(tokens.get(i)).expect("expected type name");
+    i += 1;
+
+    let mut generics_decl = String::new();
+    let mut generic_idents = Vec::new();
+    if is_punct(tokens.get(i), '<') {
+        let start = i;
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        generics_decl = tts_to_string(&tokens[start..i]);
+        generic_idents = generic_param_idents(&tokens[start + 1..i - 1]);
+    }
+
+    let mut where_clause = String::new();
+    let capture_where = |tokens: &[TokenTree], mut i: usize| -> (String, usize) {
+        if !is_ident(tokens.get(i), "where") {
+            return (String::new(), i);
+        }
+        i += 1;
+        let start = i;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g)
+                    if g.delimiter() == Delimiter::Brace
+                        || g.delimiter() == Delimiter::Parenthesis =>
+                {
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => i += 1,
+            }
+        }
+        (tts_to_string(&tokens[start..i]), i)
+    };
+
+    let data = if kind == "enum" {
+        let (w, ni) = capture_where(&tokens, i);
+        where_clause = w;
+        i = ni;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            // Tuple struct: parens first, then an optional where clause.
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => {
+                let (w, ni) = capture_where(&tokens, i);
+                where_clause = w;
+                i = ni;
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                        Data::Struct(Fields::Unit)
+                    }
+                    other => panic!("expected struct body, found {other:?}"),
+                }
+            }
+        }
+    };
+
+    Input {
+        name,
+        generics_decl,
+        generic_idents,
+        where_clause,
+        attrs,
+        data,
+    }
+}
+
+// --------------------------------------------------------------------------
+// Code generation
+// --------------------------------------------------------------------------
+
+impl Input {
+    /// `Name<T>` — the type with bare parameter idents.
+    fn self_ty(&self) -> String {
+        if self.generic_idents.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}<{}>", self.name, self.generic_idents.join(", "))
+        }
+    }
+
+    /// Builds the full `where` clause for a generated impl.
+    fn where_for(&self, trait_path: &str, extra: &[String]) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        // Source where clauses may carry a trailing comma; strip it so the
+        // joined predicate list stays well-formed.
+        let original = self.where_clause.trim().trim_end_matches(',').trim();
+        if !original.is_empty() {
+            parts.push(original.to_string());
+        }
+        for p in &self.generic_idents {
+            parts.push(format!("{p}: {trait_path}"));
+        }
+        parts.extend_from_slice(extra);
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("where {}", parts.join(", "))
+        }
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let ty = input.self_ty();
+    let name = &input.name;
+    let mut extra_bounds = Vec::new();
+
+    let body = if let Some(into_ty) = &input.attrs.into {
+        extra_bounds.push(format!("{into_ty}: ::serde::Serialize"));
+        extra_bounds.push(format!(
+            "Self: ::std::clone::Clone + ::std::convert::Into<{into_ty}>"
+        ));
+        format!(
+            "let __into: {into_ty} = \
+             ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__into)"
+        )
+    } else {
+        match &input.data {
+            Data::Struct(Fields::Named(fields)) if input.attrs.transparent => {
+                assert_eq!(fields.len(), 1, "transparent struct must have one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            }
+            Data::Struct(Fields::Named(fields)) => {
+                let mut s = format!(
+                    "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::with_capacity({});\n",
+                    fields.len()
+                );
+                for f in fields {
+                    s.push_str(&format!(
+                        "__obj.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__obj)");
+                s
+            }
+            // Newtypes (and explicit transparent) serialize as the inner
+            // value, matching real serde's newtype behavior.
+            Data::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Data::Struct(Fields::Tuple(n)) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!(
+                    "::serde::Value::Array(::std::vec![{}])",
+                    items.join(", ")
+                )
+            }
+            Data::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+            Data::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => arms.push_str(&format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            arms.push_str(&format!(
+                                "{name}::{vn}({binds_list}) => \
+                                 ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                                binds_list = binds.join(", ")
+                            ));
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let mut payload = format!(
+                                "let mut __vobj: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Value)> = ::std::vec::Vec::with_capacity({});\n",
+                                fields.len()
+                            );
+                            for f in fields {
+                                payload.push_str(&format!(
+                                    "__vobj.push((::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})));\n"
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n{payload}\
+                                 ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(__vobj))])\n}},\n"
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+
+    let where_clause = input.where_for("::serde::Serialize", &extra_bounds);
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Serialize for {ty} {where_clause} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        generics = input.generics_decl,
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let ty = input.self_ty();
+    let name = &input.name;
+    let mut extra_bounds = Vec::new();
+
+    let body = if let Some(from_ty) = &input.attrs.from {
+        extra_bounds.push(format!("{from_ty}: ::serde::Deserialize"));
+        extra_bounds.push(format!("Self: ::std::convert::From<{from_ty}>"));
+        format!(
+            "let __raw: {from_ty} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(__raw))"
+        )
+    } else if let Some(try_ty) = &input.attrs.try_from {
+        extra_bounds.push(format!("{try_ty}: ::serde::Deserialize"));
+        extra_bounds.push(format!("Self: ::std::convert::TryFrom<{try_ty}>"));
+        extra_bounds.push(format!(
+            "<Self as ::std::convert::TryFrom<{try_ty}>>::Error: ::std::fmt::Display"
+        ));
+        format!(
+            "let __raw: {try_ty} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::std::convert::TryFrom::try_from(__raw)\
+             .map_err(|__e| ::serde::de::Error::custom(::std::format!(\"{{}}\", __e)))"
+        )
+    } else {
+        match &input.data {
+            Data::Struct(Fields::Named(fields)) if input.attrs.transparent => {
+                assert_eq!(fields.len(), 1, "transparent struct must have one field");
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: \
+                     ::serde::Deserialize::from_value(__v)? }})",
+                    f = fields[0]
+                )
+            }
+            Data::Struct(Fields::Named(fields)) => {
+                let mut s = format!("let __obj = ::serde::de::as_object(__v, \"{name}\")?;\n");
+                s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+                for f in fields {
+                    s.push_str(&format!(
+                        "{f}: ::serde::de::field(__obj, \"{name}\", \"{f}\")?,\n"
+                    ));
+                }
+                s.push_str("})");
+                s
+            }
+            Data::Struct(Fields::Tuple(1)) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            Data::Struct(Fields::Tuple(n)) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                    .collect();
+                format!(
+                    "let __items = ::serde::de::as_array(__v, \"{name}\", {n})?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Data::Struct(Fields::Unit) => {
+                format!("::std::result::Result::Ok({name})")
+            }
+            Data::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut payload_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            unit_arms.push_str(&format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                            ));
+                        }
+                        Fields::Tuple(1) => {
+                            payload_arms.push_str(&format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__payload)?)),\n"
+                            ));
+                        }
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                                })
+                                .collect();
+                            payload_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __items = ::serde::de::as_array(\
+                                 __payload, \"{name}::{vn}\", {n})?;\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                                items.join(", ")
+                            ));
+                        }
+                        Fields::Named(fields) => {
+                            let mut arm = format!(
+                                "\"{vn}\" => {{\n\
+                                 let __vobj = ::serde::de::as_object(\
+                                 __payload, \"{name}::{vn}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{\n"
+                            );
+                            for f in fields {
+                                arm.push_str(&format!(
+                                    "{f}: ::serde::de::field(__vobj, \"{name}::{vn}\", \
+                                     \"{f}\")?,\n"
+                                ));
+                            }
+                            arm.push_str("})\n},\n");
+                            payload_arms.push_str(&arm);
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                     ::std::format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                     let (__k, __payload) = &__entries[0];\n\
+                     match __k.as_str() {{\n\
+                     {payload_arms}\
+                     __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                     ::std::format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                     }}\n}},\n\
+                     __other => ::std::result::Result::Err(\
+                     ::serde::de::Error::expected(\"enum {name}\", __other)),\n\
+                     }}"
+                )
+            }
+        }
+    };
+
+    let where_clause = input.where_for("::serde::Deserialize", &extra_bounds);
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Deserialize for {ty} {where_clause} {{\n\
+         fn from_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}",
+        generics = input.generics_decl,
+    )
+}
+
+// --------------------------------------------------------------------------
+// Entry points
+// --------------------------------------------------------------------------
+
+/// Prints generated impls to stderr when `SERDE_DERIVE_DEBUG` names the
+/// type being derived (or `*`). Purely a troubleshooting aid.
+fn debug_dump(name: &str, generated: &str) {
+    if let Ok(filter) = std::env::var("SERDE_DERIVE_DEBUG") {
+        if filter == "*" || filter == name {
+            eprintln!("=== serde_derive for {name} ===\n{generated}\n===");
+        }
+    }
+}
+
+/// Derives the simplified `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let generated = gen_serialize(&parsed);
+    debug_dump(&parsed.name, &generated);
+    generated
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the simplified `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let generated = gen_deserialize(&parsed);
+    debug_dump(&parsed.name, &generated);
+    generated
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}

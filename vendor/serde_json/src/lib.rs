@@ -1,0 +1,196 @@
+//! Offline stand-in for `serde_json`: JSON text ⇄ [`serde::Value`].
+//!
+//! Implements the exact API surface the workspace uses — `to_string`,
+//! `to_string_pretty`, `to_writer`, `to_writer_pretty`, `from_str`,
+//! `from_reader`, `to_value`, `from_value` and [`Value`] — over the
+//! simplified serde data model. Floats round-trip exactly: serialization
+//! uses Rust's shortest-exact formatting (with a `.0` suffix for integral
+//! values), and the parser reads numbers back with `f64::from_str`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+pub use serde::Value;
+
+mod parse;
+
+/// JSON (de)serialization failure.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Self::new(format!("io error: {e}"))
+    }
+}
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace; the `Result` mirrors the
+/// real serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::ser::to_compact_string(&value.to_value()))
+}
+
+/// Serializes a value to pretty-printed JSON text (2-space indent).
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::ser::to_pretty_string(&value.to_value()))
+}
+
+/// Serializes a value as compact JSON into a writer.
+///
+/// # Errors
+///
+/// Returns an error if the writer fails.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Serializes a value as pretty-printed JSON into a writer.
+///
+/// # Errors
+///
+/// Returns an error if the writer fails.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses a value from a reader producing JSON text.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, malformed JSON or a shape mismatch.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    from_str(&text)
+}
+
+/// Converts any serializable value into a [`Value`].
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Converts a [`Value`] into a concrete type.
+///
+/// # Errors
+///
+/// Returns an error on a shape mismatch.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&"hi\"ho").unwrap(), "\"hi\\\"ho\"");
+        assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for &f in &[
+            0.1,
+            1.0 / 3.0,
+            std::f64::consts::PI,
+            1e-300,
+            1e300,
+            -123.456_789_012_345_67,
+        ] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(f.to_bits(), back.to_bits(), "{f} -> {text} -> {back}");
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>(&text).unwrap(), v);
+
+        let pairs = vec![("a".to_string(), 1.0f64), ("b".to_string(), 2.5)];
+        let text = to_string(&pairs).unwrap();
+        assert_eq!(from_str::<Vec<(String, f64)>>(&text).unwrap(), pairs);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str::<bool>("troo").is_err());
+        assert!(from_str::<Vec<u64>>("[1,").is_err());
+        assert!(from_str::<f64>("1.2.3").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<u64>("").is_err());
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = vec![1u64, 2];
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "[\n  1,\n  2\n]");
+    }
+}
