@@ -14,6 +14,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use ecas_types::TotalF64;
+
 /// A directed graph with `f64` edge weights, stored as adjacency lists.
 ///
 /// # Examples
@@ -87,10 +89,10 @@ impl Graph {
         let n = self.adj.len();
         let mut dist = vec![f64::INFINITY; n];
         let mut prev: Vec<Option<usize>> = vec![None; n];
-        let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
+        let mut heap: BinaryHeap<Reverse<(TotalF64, usize)>> = BinaryHeap::new();
         dist[src] = 0.0;
-        heap.push(Reverse((OrdF64(0.0), src)));
-        while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+        heap.push(Reverse((TotalF64(0.0), src)));
+        while let Some(Reverse((TotalF64(d), u))) = heap.pop() {
             if d > dist[u] {
                 continue;
             }
@@ -100,7 +102,7 @@ impl Graph {
                 if nd < dist[v] {
                     dist[v] = nd;
                     prev[v] = Some(u);
-                    heap.push(Reverse((OrdF64(nd), v)));
+                    heap.push(Reverse((TotalF64(nd), v)));
                 }
             }
         }
@@ -164,24 +166,6 @@ fn reconstruct(
     }
     path.reverse();
     Some((dist[dst], path))
-}
-
-/// Total-order wrapper so `f64` distances can live in a `BinaryHeap`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF64(f64);
-
-impl Eq for OrdF64 {}
-
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
 }
 
 #[cfg(test)]

@@ -77,6 +77,8 @@ impl Default for ObjectiveWeights {
 }
 
 #[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -220,9 +220,11 @@ impl OptimalPlanner {
 
         let (cost_dijkstra, path) = graph
             .dijkstra_path(0, sink)
+            // ecas-lint: allow(panic-safety, reason = "the layered graph built above always connects source to sink")
             .expect("layered graph is connected");
         let (cost_dp, path_dp) = graph
             .dag_shortest_path(0, sink)
+            // ecas-lint: allow(panic-safety, reason = "the layered graph built above always connects source to sink")
             .expect("layered graph is connected");
         assert!(
             (cost_dijkstra - cost_dp).abs() < 1e-6,

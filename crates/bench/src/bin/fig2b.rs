@@ -26,7 +26,7 @@ fn main() {
         .filter(|&&(_, v, _)| (v.value() - min_vib).abs() < 1e-9)
         .map(|&(b, _, q)| (b.value(), q))
         .collect();
-    room.sort_by(|a, b| a.0.total_cmp(&b.0));
+    ecas_core::types::float::total_sort_by_key(&mut room, |entry| entry.0);
 
     let (params, quality_fit, _) = run_study_and_fit(&study).expect("paper design fits");
     let fitted = OriginalQuality::new(params.quality);

@@ -74,6 +74,7 @@ impl Report {
             Format::Markdown => self.render_markdown(),
             Format::Json => {
                 let mut out = serde_json::to_string_pretty(&self.to_json_value())
+                    // ecas-lint: allow(panic-safety, reason = "a serde_json::Value tree always serializes")
                     .expect("report serializes");
                 out.push('\n');
                 out

@@ -11,7 +11,7 @@
 //! * **ratio** — energy saving over QoE degradation (Fig. 7).
 
 use ecas_sim::result::SessionResult;
-use ecas_types::units::Joules;
+use ecas_types::units::{Joules, Seconds};
 use serde::{Deserialize, Serialize};
 
 use crate::approach::Approach;
@@ -35,8 +35,9 @@ pub struct ApproachMetrics {
     pub extra_energy_saving: f64,
     /// QoE degradation vs Youtube (can be slightly negative if better).
     pub qoe_degradation: f64,
-    /// Total rebuffering.
-    pub rebuffer_seconds: f64,
+    /// Total rebuffering. The serialized field name keeps the unit; the
+    /// newtype keeps the arithmetic honest.
+    pub rebuffer_seconds: Seconds,
     /// Number of bitrate switches.
     pub switches: usize,
 }
@@ -84,12 +85,16 @@ impl TraceComparison {
             results.len(),
             "one result per approach required"
         );
-        let youtube_idx = approaches
+        let baseline = approaches
             .iter()
-            .position(|a| *a == Approach::Youtube)
-            .expect("the Youtube baseline must be included");
-        let e_ref = results[youtube_idx].total_energy;
-        let q_ref = results[youtube_idx].mean_qoe.value();
+            .zip(results)
+            .find_map(|(a, r)| (*a == Approach::Youtube).then_some(r));
+        let Some(baseline) = baseline else {
+            // ecas-lint: allow(panic-safety, reason = "documented # Panics contract: the Youtube baseline is a hard precondition of every comparison")
+            panic!("the Youtube baseline must be included");
+        };
+        let e_ref = baseline.total_energy;
+        let q_ref = baseline.mean_qoe.value();
         let extra_ref = (e_ref.value() - base_energy.value()).max(1e-9);
 
         let approaches = approaches
@@ -106,7 +111,7 @@ impl TraceComparison {
                     energy_saving: 1.0 - energy.value() / e_ref.value(),
                     extra_energy_saving: 1.0 - extra / extra_ref,
                     qoe_degradation: 1.0 - r.mean_qoe.value() / q_ref,
-                    rebuffer_seconds: r.total_rebuffer.value(),
+                    rebuffer_seconds: r.total_rebuffer,
                     switches: r.switches,
                 }
             })
@@ -145,10 +150,9 @@ impl ComparisonSummary {
         let results = runner.run_grid_parallel(sessions, approaches);
         let traces = sessions
             .iter()
-            .enumerate()
-            .map(|(i, session)| {
+            .zip(results.chunks(approaches.len().max(1)))
+            .map(|(session, rows)| {
                 let base = runner.base_energy(session);
-                let rows = &results[i * approaches.len()..(i + 1) * approaches.len()];
                 TraceComparison::from_results(session.meta().name.clone(), base, approaches, rows)
             })
             .collect();
@@ -261,7 +265,7 @@ mod tests {
             energy_saving: 0.3,
             extra_energy_saving: 0.8,
             qoe_degradation: 0.0,
-            rebuffer_seconds: 0.0,
+            rebuffer_seconds: Seconds::zero(),
             switches: 0,
         };
         assert!((m.saving_over_degradation() - 300.0).abs() < 1e-9);

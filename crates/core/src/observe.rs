@@ -68,6 +68,7 @@ fn trace_refs(selection: &TraceSelection) -> Vec<TraceRef> {
                         specs
                             .iter()
                             .find(|s| s.id == *id)
+                            // ecas-lint: allow(panic-safety, reason = "an unknown trace id is a caller bug in a fixed experiment spec; abort loudly")
                             .unwrap_or_else(|| panic!("no Table V trace with id {id}")),
                     )
                 })
@@ -135,6 +136,7 @@ pub fn run_observed(scenario: &Scenario, dir: &Path) -> io::Result<ComparisonSum
             recorder.flush()?;
             let values: Vec<_> = log
                 .iter()
+                // ecas-lint: allow(panic-safety, reason = "session events are plain enums; serialization cannot fail")
                 .map(|e| serde_json::to_value(e).expect("session event serializes"))
                 .collect();
             fs::write(

@@ -56,6 +56,7 @@ impl TraceSelection {
                         specs
                             .iter()
                             .find(|s| s.id == *id)
+                            // ecas-lint: allow(panic-safety, reason = "an unknown trace id is a caller bug in a fixed experiment spec; abort loudly")
                             .unwrap_or_else(|| panic!("no Table V trace with id {id}"))
                             .generate()
                     })

@@ -109,6 +109,8 @@ pub fn table_v_robustness(
 }
 
 #[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -161,16 +161,22 @@ impl ExperimentRunner {
                         *guard += 1;
                         idx
                     };
-                    let (slot, session, approach) = jobs[idx];
+                    let Some(&(slot, session, approach)) = jobs.get(idx) else {
+                        return;
+                    };
                     let result = self.run(session, approach);
-                    results.lock()[slot] = Some(result);
+                    if let Some(cell) = results.lock().get_mut(slot) {
+                        *cell = Some(result);
+                    }
                 });
             }
         })
+        // ecas-lint: allow(panic-safety, reason = "a worker panic must propagate to the caller, not be swallowed into a partial grid")
         .expect("experiment worker panicked");
         results
             .into_inner()
             .into_iter()
+            // ecas-lint: allow(panic-safety, reason = "the job queue assigns every slot index exactly once; an empty slot is a scheduler bug worth crashing on")
             .map(|r| r.expect("every job filled its slot"))
             .collect()
     }

@@ -1,0 +1,285 @@
+//! `lint.toml` configuration: rule severities, per-crate overrides and
+//! rule scoping, parsed with a minimal hand-rolled TOML-subset reader
+//! (tables, string values, string arrays, comments).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a finding is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suppressed entirely.
+    Allow,
+    /// Reported, does not fail the build.
+    Warn,
+    /// Reported and fails the build.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+impl Severity {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "allow" => Ok(Severity::Allow),
+            "warn" => Ok(Severity::Warn),
+            "deny" => Ok(Severity::Deny),
+            other => Err(format!(
+                "invalid severity `{other}` (expected allow | warn | deny)"
+            )),
+        }
+    }
+}
+
+/// Parsed lint configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Default severity per rule name.
+    pub defaults: BTreeMap<String, Severity>,
+    /// Per-crate rule severity overrides.
+    pub overrides: BTreeMap<String, BTreeMap<String, Severity>>,
+    /// Crates whose library code the determinism rule applies to.
+    pub determinism_crates: Vec<String>,
+    /// Crates exempt from the unit-safety rule (the newtypes live there).
+    pub unit_safety_exempt: Vec<String>,
+    /// Workspace-relative path prefixes that are never scanned.
+    pub exclude: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let mut defaults = BTreeMap::new();
+        for (rule, severity) in [
+            ("determinism", Severity::Deny),
+            ("unit-safety", Severity::Deny),
+            ("panic-safety", Severity::Deny),
+            ("slice-indexing", Severity::Allow),
+            ("float-compare", Severity::Deny),
+            ("obs-purity", Severity::Deny),
+            ("allow-reason", Severity::Deny),
+            ("unused-allow", Severity::Warn),
+        ] {
+            defaults.insert(rule.to_string(), severity);
+        }
+        Self {
+            defaults,
+            overrides: BTreeMap::new(),
+            determinism_crates: ["ecas-sim", "ecas-abr", "ecas-trace", "ecas-core"]
+                .map(String::from)
+                .to_vec(),
+            unit_safety_exempt: vec!["ecas-types".to_string()],
+            exclude: vec!["vendor".to_string(), "target".to_string()],
+        }
+    }
+}
+
+impl Config {
+    /// Effective severity for `rule` inside `krate`.
+    #[must_use]
+    pub fn severity(&self, rule: &str, krate: &str) -> Severity {
+        if let Some(sev) = self.overrides.get(krate).and_then(|m| m.get(rule)) {
+            return *sev;
+        }
+        self.defaults.get(rule).copied().unwrap_or(Severity::Warn)
+    }
+
+    /// Whether the determinism rule applies to `krate`.
+    #[must_use]
+    pub fn determinism_applies(&self, krate: &str) -> bool {
+        self.determinism_crates.iter().any(|c| c == krate)
+    }
+
+    /// Whether the unit-safety rule applies to `krate`.
+    #[must_use]
+    pub fn unit_safety_applies(&self, krate: &str) -> bool {
+        !self.unit_safety_exempt.iter().any(|c| c == krate)
+    }
+
+    /// Whether a workspace-relative path is excluded from scanning.
+    #[must_use]
+    pub fn is_excluded(&self, rel_path: &str) -> bool {
+        self.exclude.iter().any(|p| rel_path.starts_with(p.as_str()))
+    }
+
+    /// Parses a `lint.toml` document on top of the built-in defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for unparseable input,
+    /// unknown severities, or unknown rule names.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut config = Config::default();
+        let mut section = String::new();
+        let mut pending: Option<(String, String)> = None; // multi-line array
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+
+            if let Some((key, buf)) = pending.take() {
+                let mut buf = buf;
+                buf.push(' ');
+                buf.push_str(&line);
+                if buf.trim_end().ends_with(']') {
+                    config.apply(&section, &key, buf.trim(), lineno)?;
+                } else {
+                    pending = Some((key, buf));
+                }
+                continue;
+            }
+
+            if line.starts_with('[') && line.ends_with(']') {
+                section = line[1..line.len() - 1].trim().to_string();
+                continue;
+            }
+
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{lineno}: expected `key = value`"));
+            };
+            let key = key.trim().to_string();
+            let value = value.trim().to_string();
+            if value.starts_with('[') && !value.ends_with(']') {
+                pending = Some((key, value));
+                continue;
+            }
+            config.apply(&section, &key, &value, lineno)?;
+        }
+        if pending.is_some() {
+            return Err("lint.toml: unterminated array value".to_string());
+        }
+        Ok(config)
+    }
+
+    fn apply(&mut self, section: &str, key: &str, value: &str, lineno: usize) -> Result<(), String> {
+        match section {
+            "rules" => {
+                if !self.defaults.contains_key(key) {
+                    return Err(format!("lint.toml:{lineno}: unknown rule `{key}`"));
+                }
+                let sev = Severity::parse(&parse_string(value, lineno)?)
+                    .map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
+                self.defaults.insert(key.to_string(), sev);
+            }
+            "scope" => match key {
+                "determinism" => self.determinism_crates = parse_array(value, lineno)?,
+                "unit-safety-exempt" => self.unit_safety_exempt = parse_array(value, lineno)?,
+                "exclude" => self.exclude = parse_array(value, lineno)?,
+                other => {
+                    return Err(format!("lint.toml:{lineno}: unknown scope key `{other}`"));
+                }
+            },
+            s => {
+                let Some(krate) = s.strip_prefix("overrides.") else {
+                    return Err(format!("lint.toml:{lineno}: unknown section `[{s}]`"));
+                };
+                if !self.defaults.contains_key(key) {
+                    return Err(format!("lint.toml:{lineno}: unknown rule `{key}`"));
+                }
+                let sev = Severity::parse(&parse_string(value, lineno)?)
+                    .map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
+                self.overrides
+                    .entry(krate.to_string())
+                    .or_default()
+                    .insert(key.to_string(), sev);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_quotes = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            '#' if !in_quotes => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!("lint.toml:{lineno}: expected a quoted string"))
+    }
+}
+
+fn parse_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let Some(body) = v.strip_prefix('[').and_then(|v| v.strip_suffix(']')) else {
+        return Err(format!("lint.toml:{lineno}: expected an array of strings"));
+    };
+    let mut out = Vec::new();
+    for item in body.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = Config::default();
+        assert_eq!(c.severity("panic-safety", "ecas-sim"), Severity::Deny);
+        assert_eq!(c.severity("slice-indexing", "ecas-sim"), Severity::Allow);
+        assert!(c.determinism_applies("ecas-sim"));
+        assert!(!c.determinism_applies("ecas-obs"));
+        assert!(!c.unit_safety_applies("ecas-types"));
+    }
+
+    #[test]
+    fn parse_overrides_and_scope() {
+        let toml = r#"
+# comment
+[rules]
+panic-safety = "deny"
+slice-indexing = "allow"
+
+[scope]
+determinism = ["ecas-sim",
+    "ecas-abr"]
+exclude = ["vendor"]
+
+[overrides.ecas-sim]
+slice-indexing = "deny"
+"#;
+        let c = Config::parse(toml).expect("parses");
+        assert_eq!(c.severity("slice-indexing", "ecas-sim"), Severity::Deny);
+        assert_eq!(c.severity("slice-indexing", "ecas-qoe"), Severity::Allow);
+        assert_eq!(c.determinism_crates, ["ecas-sim", "ecas-abr"]);
+        assert!(c.is_excluded("vendor/rand/src/lib.rs"));
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        assert!(Config::parse("[rules]\nnot-a-rule = \"deny\"").is_err());
+    }
+
+    #[test]
+    fn bad_severity_is_rejected() {
+        assert!(Config::parse("[rules]\npanic-safety = \"fatal\"").is_err());
+    }
+}

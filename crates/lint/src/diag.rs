@@ -1,0 +1,79 @@
+//! Diagnostic type and rendering: `file:line: [rule] message` plus a fix
+//! hint, matching the format the CI log greps for.
+
+use std::fmt;
+
+use crate::config::Severity;
+
+/// One reported finding, after severity resolution and allow-filtering.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Effective severity ([`Severity::Warn`] or [`Severity::Deny`]).
+    pub severity: Severity,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )?;
+        write!(f, "    = help ({}): {}", self.severity, self.hint)
+    }
+}
+
+/// Counts of findings by severity, for the summary line and exit code.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Tally {
+    /// Build-failing findings.
+    pub deny: usize,
+    /// Advisory findings.
+    pub warn: usize,
+}
+
+impl Tally {
+    /// Tallies a diagnostic list.
+    #[must_use]
+    pub fn of(diagnostics: &[Diagnostic]) -> Self {
+        let mut tally = Tally::default();
+        for d in diagnostics {
+            match d.severity {
+                Severity::Deny => tally.deny += 1,
+                Severity::Warn => tally.warn += 1,
+                Severity::Allow => {}
+            }
+        }
+        tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_grep_friendly_line() {
+        let d = Diagnostic {
+            file: "crates/sim/src/player.rs".to_string(),
+            line: 42,
+            rule: "panic-safety",
+            severity: Severity::Deny,
+            message: "`.unwrap(..)` in non-test library code".to_string(),
+            hint: "return the error".to_string(),
+        };
+        let rendered = d.to_string();
+        assert!(rendered.starts_with("crates/sim/src/player.rs:42: [panic-safety] "));
+        assert!(rendered.contains("help (deny)"));
+    }
+}

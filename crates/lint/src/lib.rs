@@ -1,0 +1,341 @@
+//! `ecas-lint`: offline static analysis for the ecas workspace.
+//!
+//! A zero-dependency, token-level lint that enforces the invariants the
+//! reproduction's claims rest on: determinism (no wall-clock, no ambient
+//! entropy, no hash-order iteration in simulation crates), unit-safety
+//! (quantities travel as `ecas_types::units` newtypes, not raw floats),
+//! panic-safety (library code returns errors instead of unwrapping) and
+//! observability purity (probe events carry simulation-time data only).
+//!
+//! See `lint.toml` at the workspace root for rule severities and scoping,
+//! and DESIGN.md § "Static analysis" for the rationale behind each rule.
+//!
+//! Findings can be locally justified with an inline directive:
+//!
+//! ```text
+//! // ecas-lint: allow(panic-safety, reason = "static Table II data is validated by tests")
+//! ```
+//!
+//! A directive with no `reason` is itself a deny-level finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::{Config, Severity};
+pub use diag::{Diagnostic, Tally};
+
+/// Lints one file's source text, returning reportable diagnostics
+/// (deny/warn only — allowed and suppressed findings are filtered).
+#[must_use]
+pub fn lint_source(
+    crate_name: &str,
+    rel_path: &str,
+    source: &str,
+    config: &Config,
+) -> Vec<Diagnostic> {
+    let scanned = scan::scan(source);
+    let test_ranges = scan::test_line_ranges(&scanned.tokens);
+    let in_test = |line: u32| test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+
+    let raw = rules::run_all(crate_name, rel_path, &scanned.tokens, config);
+    let raw: Vec<_> = raw.into_iter().filter(|f| !in_test(f.line)).collect();
+
+    // A trailing directive covers its own line; a standalone directive
+    // covers the next non-directive line.
+    let target_line = |d: &scan::Directive| -> u32 {
+        if !d.standalone {
+            return d.line;
+        }
+        let mut target = d.line + 1;
+        while scanned
+            .directives
+            .iter()
+            .any(|o| o.standalone && o.line == target)
+        {
+            target += 1;
+        }
+        target
+    };
+
+    let known_rule = |name: &str| rules::RULES.iter().any(|(rule, _)| *rule == name);
+    let mut out = Vec::new();
+    let mut used = vec![false; scanned.directives.len()];
+
+    for finding in &raw {
+        let suppressed = scanned.directives.iter().enumerate().any(|(di, d)| {
+            let covers = d.malformed.is_none()
+                && d.reason.is_some()
+                && target_line(d) == finding.line
+                && d.rules.iter().any(|r| r == finding.rule);
+            if covers {
+                used[di] = true;
+            }
+            covers
+        });
+        if suppressed {
+            continue;
+        }
+        let severity = config.severity(finding.rule, crate_name);
+        if severity == Severity::Allow {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: rel_path.to_string(),
+            line: finding.line,
+            rule: finding.rule,
+            severity,
+            message: finding.message.clone(),
+            hint: finding.hint.clone(),
+        });
+    }
+
+    // Directive hygiene: malformed, reason-less, unknown-rule and unused
+    // directives are findings themselves.
+    for (di, d) in scanned.directives.iter().enumerate() {
+        if in_test(d.line) {
+            continue;
+        }
+        let reason_sev = config.severity("allow-reason", crate_name);
+        if let Some(error) = &d.malformed {
+            if reason_sev != Severity::Allow {
+                out.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line: d.line,
+                    rule: "allow-reason",
+                    severity: reason_sev,
+                    message: format!("malformed ecas-lint directive: {error}"),
+                    hint: "write // ecas-lint: allow(<rule>, reason = \"...\")".to_string(),
+                });
+            }
+            continue;
+        }
+        if d.reason.is_none() && reason_sev != Severity::Allow {
+            out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: d.line,
+                rule: "allow-reason",
+                severity: reason_sev,
+                message: "allow directive without a reason".to_string(),
+                hint: "add reason = \"why this finding is acceptable here\"".to_string(),
+            });
+        }
+        for rule in &d.rules {
+            if !known_rule(rule) && reason_sev != Severity::Allow {
+                out.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line: d.line,
+                    rule: "allow-reason",
+                    severity: reason_sev,
+                    message: format!("allow directive names unknown rule `{rule}`"),
+                    hint: "run ecas-lint --list-rules for the rule registry".to_string(),
+                });
+            }
+        }
+        let unused_sev = config.severity("unused-allow", crate_name);
+        if !used[di]
+            && d.malformed.is_none()
+            && d.reason.is_some()
+            && d.rules.iter().all(|r| known_rule(r))
+            && unused_sev != Severity::Allow
+        {
+            out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: d.line,
+                rule: "unused-allow",
+                severity: unused_sev,
+                message: format!("allow({}) suppresses nothing", d.rules.join(", ")),
+                hint: "delete the directive or move it next to the finding it justifies"
+                    .to_string(),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// One scannable source file of the workspace.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Package name owning the file (e.g. `ecas-sim`).
+    pub crate_name: String,
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path used in diagnostics.
+    pub rel_path: String,
+}
+
+/// Enumerates the library source files of every first-party workspace
+/// crate: `src/**/*.rs` under `crates/*` plus the root package. Test,
+/// bench and example targets are not library code and are not scanned;
+/// `lint.toml` excludes (e.g. `vendor/`) are honoured.
+///
+/// # Errors
+///
+/// Returns any I/O error from directory traversal.
+pub fn workspace_files(root: &Path, config: &Config) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let mut crate_dirs = vec![root.to_path_buf()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            crate_dirs.push(entry?.path());
+        }
+    }
+    crate_dirs.sort();
+
+    for dir in crate_dirs {
+        let manifest = dir.join("Cargo.toml");
+        let src = dir.join("src");
+        if !manifest.is_file() || !src.is_dir() {
+            continue;
+        }
+        let Some(crate_name) = package_name(&fs::read_to_string(&manifest)?) else {
+            continue;
+        };
+        let mut rs_files = Vec::new();
+        collect_rs_files(&src, &mut rs_files)?;
+        rs_files.sort();
+        for path in rs_files {
+            let rel_path = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if config.is_excluded(&rel_path) {
+                continue;
+            }
+            files.push(SourceFile {
+                crate_name: crate_name.clone(),
+                path,
+                rel_path,
+            });
+        }
+    }
+    Ok(files)
+}
+
+/// Lints every workspace file under `root` with `config`.
+///
+/// # Errors
+///
+/// Returns any I/O error from reading the tree.
+pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for file in workspace_files(root, config)? {
+        let source = fs::read_to_string(&file.path)?;
+        out.extend(lint_source(
+            &file.crate_name,
+            &file.rel_path,
+            &source,
+            config,
+        ));
+    }
+    Ok(out)
+}
+
+/// Loads `lint.toml` from the workspace root, falling back to built-in
+/// defaults when the file does not exist.
+///
+/// # Errors
+///
+/// Returns a message when the file exists but cannot be read or parsed.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    if !path.is_file() {
+        return Ok(Config::default());
+    }
+    let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Config::parse(&text)
+}
+
+/// Extracts `name = "..."` from the `[package]` section of a manifest.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(value) = line.strip_prefix("name") {
+            let value = value.trim_start().strip_prefix('=')?.trim();
+            return Some(value.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parses_workspace_style_manifest() {
+        let manifest = "[package]\nname = \"ecas-sim\"\nversion.workspace = true\n";
+        assert_eq!(package_name(manifest).as_deref(), Some("ecas-sim"));
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_finding() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // ecas-lint: allow(panic-safety, reason = \"caller checked\")\n}\n";
+        let diags = lint_source("ecas-qoe", "f.rs", src, &Config::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // ecas-lint: allow(panic-safety, reason = \"caller checked\")\n    x.unwrap()\n}\n";
+        let diags = lint_source("ecas-qoe", "f.rs", src, &Config::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_fails_and_does_not_suppress() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // ecas-lint: allow(panic-safety)\n}\n";
+        let diags = lint_source("ecas-qoe", "f.rs", src, &Config::default());
+        let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"panic-safety"), "{diags:?}");
+        assert!(rules.contains(&"allow-reason"), "{diags:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "// ecas-lint: allow(determinism, reason = \"nothing here\")\nfn f() {}\n";
+        let diags = lint_source("ecas-qoe", "f.rs", src, &Config::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unused-allow");
+        assert_eq!(diags[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn findings_in_test_modules_are_skipped() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t(x: Option<u8>) { x.unwrap(); }\n}\n";
+        let diags = lint_source("ecas-qoe", "f.rs", src, &Config::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,108 @@
+//! The `ecas-lint` binary: lints the workspace and exits nonzero on any
+//! deny-level finding. Run from anywhere inside the repository:
+//!
+//! ```text
+//! cargo run --release -p ecas-lint
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ecas_lint::{diag::Tally, lint_workspace, load_config, rules};
+
+const USAGE: &str = "usage: ecas-lint [--root <dir>] [--list-rules] [--quiet]
+
+Lints library code of every first-party workspace crate against the rules
+configured in <root>/lint.toml. Exits 0 when clean, 1 on deny findings,
+2 on usage or I/O errors.";
+
+fn main() -> ExitCode {
+    let mut root = None;
+    let mut list_rules = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("ecas-lint: --root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => list_rules = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ecas-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for (name, summary) in rules::RULES {
+            println!("{name:16} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let config = match load_config(&root) {
+        Ok(config) => config,
+        Err(error) => {
+            eprintln!("ecas-lint: {error}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let diagnostics = match lint_workspace(&root, &config) {
+        Ok(diagnostics) => diagnostics,
+        Err(error) => {
+            eprintln!("ecas-lint: {error}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        for d in &diagnostics {
+            println!("{d}");
+        }
+    }
+    let tally = Tally::of(&diagnostics);
+    println!(
+        "ecas-lint: {} deny, {} warn finding(s)",
+        tally.deny, tally.warn
+    );
+    if tally.deny > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks upward from the current directory to the first one holding a
+/// `lint.toml` or a workspace `Cargo.toml`; falls back to `.`.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return dir;
+        }
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

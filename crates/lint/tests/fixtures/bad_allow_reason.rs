@@ -1,0 +1,5 @@
+//! Fixture: allow directive without a reason does not suppress.
+pub fn head(values: &[f64]) -> f64 {
+    // ecas-lint: allow(panic-safety)
+    values.first().copied().unwrap()
+}

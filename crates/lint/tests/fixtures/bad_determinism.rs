@@ -1,0 +1,6 @@
+//! Fixture: nondeterminism in simulation code.
+use std::collections::HashMap;
+
+pub fn lookup(map: &HashMap<u32, f64>, key: u32) -> f64 {
+    map.get(&key).copied().unwrap_or(0.0)
+}

@@ -1,0 +1,12 @@
+//! Fixture: NaN-unsafe float comparisons.
+pub fn is_unity(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn larger(a: f64, b: f64) -> f64 {
+    if a.partial_cmp(&b).unwrap() == std::cmp::Ordering::Greater {
+        a
+    } else {
+        b
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: wall-clock data inside a probe event payload.
+pub fn report(probe: &dyn super::Probe, started: std::time::Instant) {
+    probe.emit(&payload(started.elapsed()));
+}

@@ -1,0 +1,8 @@
+//! Fixture: panicking calls in library code.
+pub fn head(values: &[f64]) -> f64 {
+    values.first().copied().unwrap()
+}
+
+pub fn must(opt: Option<u32>) -> u32 {
+    opt.expect("value is present")
+}

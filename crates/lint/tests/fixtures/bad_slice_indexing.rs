@@ -1,0 +1,4 @@
+//! Fixture: panicking slice indexing.
+pub fn second(values: &[f64]) -> f64 {
+    values[1]
+}

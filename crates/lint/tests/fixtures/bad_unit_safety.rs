@@ -1,0 +1,8 @@
+//! Fixture: raw floats carrying physical quantities.
+pub struct Download {
+    pub size_bytes: f64,
+}
+
+pub fn throughput(chunk_mbps: f64) -> f64 {
+    chunk_mbps
+}

@@ -1,0 +1,5 @@
+//! Fixture: allow directive that suppresses nothing.
+pub fn double(x: f64) -> f64 {
+    // ecas-lint: allow(panic-safety, reason = "nothing here panics")
+    x * 2.0
+}

@@ -1,0 +1,31 @@
+//! Fixture: clean library code — deterministic collections, no panics,
+//! justified escape hatch, total float ordering.
+use std::collections::BTreeMap;
+
+/// Returns the value for `key`, or zero.
+pub fn lookup(map: &BTreeMap<u32, f64>, key: u32) -> f64 {
+    map.get(&key).copied().unwrap_or(0.0)
+}
+
+/// Sorts ascending with a total order (NaN sorts last).
+pub fn sort(values: &mut [f64]) {
+    values.sort_by(f64::total_cmp);
+}
+
+/// A justified panic keeps its allow directive and a reason.
+pub fn checked(opt: Option<u32>) -> u32 {
+    // ecas-lint: allow(panic-safety, reason = "fixture: caller guarantees Some")
+    opt.expect("caller guarantees Some")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let mut map = BTreeMap::new();
+        map.insert(1u32, 2.0f64);
+        assert_eq!(map.get(&1).copied().unwrap(), lookup(&map, 1));
+    }
+}

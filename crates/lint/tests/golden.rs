@@ -1,0 +1,159 @@
+//! Golden-fixture tests: one bad snippet per rule asserting the rule and
+//! line it fires on, one clean snippet asserting silence, and a self-check
+//! that the workspace itself lints clean under the checked-in `lint.toml`.
+
+use std::path::Path;
+
+use ecas_lint::{lint_source, lint_workspace, load_config, Config, Severity};
+
+/// Lints a fixture under `crate_name` with the built-in default config.
+fn lint_fixture(crate_name: &str, fixture: &str) -> Vec<ecas_lint::Diagnostic> {
+    lint_source(crate_name, fixture, fixture_source(fixture), &Config::default())
+}
+
+fn fixture_source(fixture: &str) -> &'static str {
+    match fixture {
+        "bad_determinism.rs" => include_str!("fixtures/bad_determinism.rs"),
+        "bad_unit_safety.rs" => include_str!("fixtures/bad_unit_safety.rs"),
+        "bad_panic_safety.rs" => include_str!("fixtures/bad_panic_safety.rs"),
+        "bad_slice_indexing.rs" => include_str!("fixtures/bad_slice_indexing.rs"),
+        "bad_float_compare.rs" => include_str!("fixtures/bad_float_compare.rs"),
+        "bad_obs_purity.rs" => include_str!("fixtures/bad_obs_purity.rs"),
+        "bad_allow_reason.rs" => include_str!("fixtures/bad_allow_reason.rs"),
+        "bad_unused_allow.rs" => include_str!("fixtures/bad_unused_allow.rs"),
+        "clean.rs" => include_str!("fixtures/clean.rs"),
+        other => panic!("unknown fixture {other}"),
+    }
+}
+
+/// Asserts that `diags` contains a finding for `rule` at `line`.
+fn assert_fires(diags: &[ecas_lint::Diagnostic], rule: &str, line: u32) {
+    assert!(
+        diags.iter().any(|d| d.rule == rule && d.line == line),
+        "expected [{rule}] at line {line}, got: {diags:#?}"
+    );
+}
+
+#[test]
+fn determinism_fixture_fires() {
+    let diags = lint_fixture("ecas-sim", "bad_determinism.rs");
+    assert_fires(&diags, "determinism", 2); // use std::collections::HashMap
+    assert_fires(&diags, "determinism", 4); // &HashMap<...> parameter
+}
+
+#[test]
+fn determinism_is_scoped_to_simulation_crates() {
+    // The same source in an out-of-scope crate raises nothing.
+    let diags = lint_fixture("ecas-bench", "bad_determinism.rs");
+    assert!(
+        !diags.iter().any(|d| d.rule == "determinism"),
+        "determinism should not apply to ecas-bench: {diags:#?}"
+    );
+}
+
+#[test]
+fn unit_safety_fixture_fires() {
+    let diags = lint_fixture("ecas-sim", "bad_unit_safety.rs");
+    assert_fires(&diags, "unit-safety", 3); // size_bytes: f64 field
+    assert_fires(&diags, "unit-safety", 6); // chunk_mbps: f64 parameter
+}
+
+#[test]
+fn unit_safety_exempts_the_newtype_crate() {
+    let diags = lint_fixture("ecas-types", "bad_unit_safety.rs");
+    assert!(
+        !diags.iter().any(|d| d.rule == "unit-safety"),
+        "ecas-types defines the newtypes and is exempt: {diags:#?}"
+    );
+}
+
+#[test]
+fn panic_safety_fixture_fires() {
+    let diags = lint_fixture("ecas-sim", "bad_panic_safety.rs");
+    assert_fires(&diags, "panic-safety", 3); // .unwrap()
+    assert_fires(&diags, "panic-safety", 7); // .expect(..)
+}
+
+#[test]
+fn panic_safety_skips_binary_targets() {
+    let source = fixture_source("bad_panic_safety.rs");
+    let diags = lint_source("ecas-bench", "crates/bench/src/bin/fig5.rs", source, &Config::default());
+    assert!(
+        !diags.iter().any(|d| d.rule == "panic-safety"),
+        "a CLI main aborting with a message is its error path: {diags:#?}"
+    );
+}
+
+#[test]
+fn slice_indexing_is_an_opt_in_ratchet() {
+    // Default severity is allow: nothing fires.
+    let diags = lint_fixture("ecas-qoe", "bad_slice_indexing.rs");
+    assert!(
+        !diags.iter().any(|d| d.rule == "slice-indexing"),
+        "slice-indexing defaults to allow: {diags:#?}"
+    );
+
+    // An opted-in crate denies it.
+    let mut config = Config::default();
+    config
+        .overrides
+        .entry("ecas-sim".to_string())
+        .or_default()
+        .insert("slice-indexing".to_string(), Severity::Deny);
+    let source = fixture_source("bad_slice_indexing.rs");
+    let diags = lint_source("ecas-sim", "bad_slice_indexing.rs", source, &config);
+    assert_fires(&diags, "slice-indexing", 3); // values[1]
+}
+
+#[test]
+fn float_compare_fixture_fires() {
+    let diags = lint_fixture("ecas-sim", "bad_float_compare.rs");
+    assert_fires(&diags, "float-compare", 3); // x == 1.0
+    assert_fires(&diags, "float-compare", 7); // partial_cmp(..).unwrap()
+}
+
+#[test]
+fn obs_purity_fixture_fires() {
+    let diags = lint_fixture("ecas-obs", "bad_obs_purity.rs");
+    assert_fires(&diags, "obs-purity", 3); // emit(.. elapsed ..)
+}
+
+#[test]
+fn allow_without_reason_does_not_suppress() {
+    let diags = lint_fixture("ecas-sim", "bad_allow_reason.rs");
+    assert_fires(&diags, "allow-reason", 3); // the reason-less directive
+    assert_fires(&diags, "panic-safety", 4); // still reported
+}
+
+#[test]
+fn unused_allow_warns() {
+    let diags = lint_fixture("ecas-sim", "bad_unused_allow.rs");
+    let unused: Vec<_> = diags.iter().filter(|d| d.rule == "unused-allow").collect();
+    assert_eq!(unused.len(), 1, "exactly one unused directive: {diags:#?}");
+    assert_eq!(unused[0].line, 3);
+    assert_eq!(unused[0].severity, Severity::Warn);
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let diags = lint_fixture("ecas-sim", "clean.rs");
+    assert!(diags.is_empty(), "clean fixture must lint clean: {diags:#?}");
+}
+
+/// The workspace itself must stay clean under the checked-in `lint.toml`:
+/// this is the same gate CI runs, kept honest from inside the test suite.
+#[test]
+fn workspace_self_check_has_no_deny_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels below the workspace root")
+        .to_path_buf();
+    let config = load_config(&root).expect("lint.toml parses");
+    let diags = lint_workspace(&root, &config).expect("workspace scan succeeds");
+    let deny: Vec<_> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .collect();
+    assert!(deny.is_empty(), "workspace deny findings: {deny:#?}");
+}

@@ -222,7 +222,7 @@ impl BandwidthEstimator for SlidingPercentile {
             return None;
         }
         let mut sorted: Vec<f64> = self.samples.iter().copied().collect();
-        sorted.sort_by(f64::total_cmp);
+        ecas_types::float::total_sort(&mut sorted);
         let rank = (self.percentile * (sorted.len() - 1) as f64).round() as usize;
         Some(Mbps::new(sorted[rank]))
     }

@@ -40,6 +40,7 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
 pub fn stable_hash<T: Serialize + ?Sized>(value: &T) -> u64 {
     fnv1a_64(
         serde_json::to_string(value)
+            // ecas-lint: allow(panic-safety, reason = "manifest types contain no non-serializable values; documented above")
             .expect("value serializes")
             .as_bytes(),
     )
@@ -96,6 +97,7 @@ impl RunManifest {
     /// Panics if serialization fails (cannot happen for this type).
     #[must_use]
     pub fn to_json_pretty(&self) -> String {
+        // ecas-lint: allow(panic-safety, reason = "manifest types contain no non-serializable values; documented above")
         serde_json::to_string_pretty(self).expect("manifest serializes")
     }
 

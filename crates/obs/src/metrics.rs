@@ -100,15 +100,10 @@ impl MetricsRegistry {
     /// [`MetricsRegistry::register_histogram`] first for custom buckets.
     pub fn observe(&self, name: &str, value: f64) {
         let mut inner = self.inner.lock();
-        if !inner.histograms.contains_key(name) {
-            inner
-                .histograms
-                .insert(name.to_string(), Histogram::new(&DEFAULT_BUCKETS));
-        }
         inner
             .histograms
-            .get_mut(name)
-            .expect("histogram just ensured")
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(&DEFAULT_BUCKETS))
             .observe(value);
     }
 
@@ -185,10 +180,7 @@ impl MetricsRegistry {
 }
 
 fn entry_or_insert<'m, V: Copy>(map: &'m mut BTreeMap<String, V>, name: &str, zero: V) -> &'m mut V {
-    if !map.contains_key(name) {
-        map.insert(name.to_string(), zero);
-    }
-    map.get_mut(name).expect("entry just ensured")
+    map.entry(name.to_string()).or_insert(zero)
 }
 
 /// A serializable point-in-time copy of a registry's metrics, sorted by

@@ -78,7 +78,7 @@ impl PowerModel {
     /// Tail duration after each burst.
     #[must_use]
     pub fn tail_seconds(&self) -> Seconds {
-        Seconds::new(self.params.radio.tail_seconds)
+        self.params.radio.tail_seconds
     }
 
     /// Screen power while the player is on screen.
@@ -139,6 +139,8 @@ impl Default for PowerModel {
 }
 
 #[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

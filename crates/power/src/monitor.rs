@@ -174,6 +174,7 @@ impl PowerMonitor {
             let noise = self.noise_std * gauss(&mut rng);
             samples.push(PowerSample::new(t, Watts::new((truth + noise).max(0.0))));
         }
+        // ecas-lint: allow(panic-safety, reason = "samples are pushed on a strictly increasing uniform grid")
         TimeSeries::new(samples).expect("uniform grid is ordered")
     }
 }

@@ -1,6 +1,6 @@
 //! Power model parameters.
 
-use ecas_types::units::Dbm;
+use ecas_types::units::{Dbm, Seconds};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the radio (download) power model
@@ -23,8 +23,9 @@ pub struct RadioPowerParams {
     /// Radio tail power after a download burst ends (W) — the LTE
     /// RRC-tail effect studied in the paper's refs [7, 29, 30].
     pub tail_power: f64,
-    /// Tail duration after each burst (s).
-    pub tail_seconds: f64,
+    /// Tail duration after each burst. The newtype rejects NaN and
+    /// negative durations at construction.
+    pub tail_seconds: Seconds,
 }
 
 impl RadioPowerParams {
@@ -40,7 +41,7 @@ impl RadioPowerParams {
             alpha1: 0.030,
             s_ref: Dbm::new(-90.0),
             tail_power: 0.80,
-            tail_seconds: 1.0,
+            tail_seconds: Seconds::new(1.0),
         }
     }
 
@@ -52,7 +53,6 @@ impl RadioPowerParams {
             && self.alpha0 > 0.0
             && self.alpha1 >= 0.0
             && self.tail_power >= 0.0
-            && self.tail_seconds >= 0.0
             && [self.beta0, self.beta1, self.alpha0, self.alpha1]
                 .iter()
                 .all(|v| v.is_finite())

@@ -29,7 +29,7 @@ pub fn mean(per_task: &[f64]) -> Option<f64> {
 /// The worst per-task QoE.
 #[must_use]
 pub fn worst(per_task: &[f64]) -> Option<f64> {
-    per_task.iter().copied().min_by(f64::total_cmp)
+    ecas_types::float::total_min(per_task.iter().copied())
 }
 
 /// The `p`-quantile (0 ≤ p ≤ 1) of per-task QoE.
@@ -44,7 +44,7 @@ pub fn percentile(per_task: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = per_task.to_vec();
-    sorted.sort_by(f64::total_cmp);
+    ecas_types::float::total_sort(&mut sorted);
     let idx = ((p * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
     Some(sorted[idx])
 }
@@ -103,6 +103,8 @@ impl SessionQoe {
 }
 
 #[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

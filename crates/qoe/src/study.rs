@@ -281,6 +281,8 @@ pub fn table_iii(seed: u64) -> Result<(QoeParams, FitReport, FitReport), FitErro
 }
 
 #[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -328,7 +330,7 @@ mod tests {
             .filter(|&&(_, v, _)| v.value() < 0.5)
             .map(|&(b, _, q)| (b.value(), q))
             .collect();
-        room.sort_by(|a, b| a.0.total_cmp(&b.0));
+        ecas_types::float::total_sort_by_key(&mut room, |entry| entry.0);
         for w in room.windows(2) {
             assert!(
                 w[0].1 < w[1].1 + 0.1,

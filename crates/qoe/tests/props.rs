@@ -1,5 +1,7 @@
 //! Property-based tests for QoE model invariants.
 
+// Integration tests assert exact fixture values.
+#![allow(clippy::float_cmp)]
 use ecas_qoe::fit::{fit_impairment, fit_quality};
 use ecas_qoe::impairment::VibrationImpairment;
 use ecas_qoe::model::QoeModel;

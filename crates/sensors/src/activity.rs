@@ -229,6 +229,8 @@ impl Default for ActivityClassifier {
 }
 
 #[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use ecas_trace::synth::accel::AccelTraceGenerator;

@@ -70,10 +70,13 @@ pub fn resample_accel(series: &TimeSeries<AccelSample>, rate_hz: f64) -> TimeSer
         };
         out.push(sample);
     }
+    // ecas-lint: allow(panic-safety, reason = "samples are pushed on a strictly increasing uniform grid")
     TimeSeries::new(out).expect("uniform grid is time ordered")
 }
 
 #[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

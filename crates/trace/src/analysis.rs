@@ -40,7 +40,7 @@ impl ChannelStats {
             return None;
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(f64::total_cmp);
+        ecas_types::float::total_sort(&mut sorted);
         let n = sorted.len();
         let pct = |p: f64| sorted[((p * (n - 1) as f64).round() as usize).min(n - 1)];
         let mean = sorted.iter().sum::<f64>() / n as f64;
@@ -68,7 +68,7 @@ pub fn empirical_cdf(values: &[f64], points: usize) -> Vec<(f64, f64)> {
         return Vec::new();
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(f64::total_cmp);
+    ecas_types::float::total_sort(&mut sorted);
     let n = sorted.len();
     (1..=points)
         .map(|k| {
@@ -109,8 +109,11 @@ impl SessionStats {
         let below = thr.iter().filter(|&&t| t < 5.8).count() as f64 / thr.len() as f64;
         Self {
             name: session.meta().name.clone(),
+            // ecas-lint: allow(panic-safety, reason = "SessionTrace::new rejects empty channels, so every channel has samples")
             throughput: ChannelStats::of(&thr).expect("network channel is non-empty"),
+            // ecas-lint: allow(panic-safety, reason = "SessionTrace::new rejects empty channels, so every channel has samples")
             signal: ChannelStats::of(&sig).expect("signal channel is non-empty"),
+            // ecas-lint: allow(panic-safety, reason = "SessionTrace::new rejects empty channels, so every channel has samples")
             accel_magnitude: ChannelStats::of(&mag).expect("accel channel is non-empty"),
             below_top_bitrate: below,
         }
@@ -163,6 +166,8 @@ pub fn mean_signal_weighted(signal: &TimeSeries<SignalSample>, horizon: Seconds)
 }
 
 #[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::videos::EvalTraceSpec;

@@ -419,6 +419,8 @@ pub fn decode_binary(data: &[u8]) -> Result<SessionTrace, TraceIoError> {
 }
 
 #[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::synth::context::{Context, ContextSchedule};
@@ -568,7 +570,7 @@ pub fn read_mahimahi<R: Read>(
     if stamps_ms.is_empty() {
         return Err(TraceIoError::Corrupt("empty mahimahi payload".into()));
     }
-    stamps_ms.sort_by(f64::total_cmp);
+    ecas_types::float::total_sort(&mut stamps_ms);
 
     let bin_s = bin.value();
     let horizon = stamps_ms[stamps_ms.len() - 1] / 1000.0;
@@ -591,6 +593,8 @@ pub fn read_mahimahi<R: Read>(
 }
 
 #[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
 mod mahimahi_tests {
     use super::*;
 

@@ -182,7 +182,7 @@ impl Manifest {
             })?;
             bitrates.push(Mbps::new(bps / 1e6));
         }
-        bitrates.sort_by(|a, b| a.total_cmp(b));
+        ecas_types::float::total_sort_by_key(&mut bitrates, |rate| rate.value());
         let ladder = BitrateLadder::from_bitrates(bitrates).map_err(MpdError::BadLadder)?;
 
         Ok(Self {

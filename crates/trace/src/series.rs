@@ -108,12 +108,14 @@ impl<T: Timestamped + Clone> TimeSeries<T> {
     /// The earliest sample.
     #[must_use]
     pub fn first(&self) -> &T {
+        // ecas-lint: allow(panic-safety, reason = "TimeSeries::new rejects empty input, so the series is never empty")
         self.samples.first().expect("series is never empty")
     }
 
     /// The latest sample.
     #[must_use]
     pub fn last(&self) -> &T {
+        // ecas-lint: allow(panic-safety, reason = "TimeSeries::new rejects empty input, so the series is never empty")
         self.samples.last().expect("series is never empty")
     }
 
@@ -325,7 +327,7 @@ impl TimeSeries<AccelSample> {
             .windows(2)
             .map(|w| w[1].time.value() - w[0].time.value())
             .collect();
-        gaps.sort_by(f64::total_cmp);
+        ecas_types::float::total_sort(&mut gaps);
         let median = gaps[gaps.len() / 2];
         if median <= 0.0 {
             None

@@ -175,6 +175,7 @@ impl AccelTraceGenerator {
             samples.push(AccelSample::new(Seconds::new(t), x, y, z));
         }
 
+        // ecas-lint: allow(panic-safety, reason = "samples are generated on a strictly increasing time grid")
         TimeSeries::new(samples).expect("generated accel samples are ordered")
     }
 }

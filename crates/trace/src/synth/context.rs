@@ -145,6 +145,7 @@ impl ContextSchedule {
             (Seconds::new(t * 0.80), Context::Walking),
             (Seconds::new(t * 0.90), Context::QuietRoom),
         ])
+        // ecas-lint: allow(panic-safety, reason = "the schedule literal is sorted and non-empty by construction")
         .expect("commute schedule fractions are valid")
     }
 
@@ -193,6 +194,8 @@ impl ContextSchedule {
 }
 
 #[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

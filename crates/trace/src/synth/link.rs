@@ -228,7 +228,9 @@ impl LinkTraceGenerator {
         }
 
         (
+            // ecas-lint: allow(panic-safety, reason = "samples are generated on a strictly increasing time grid")
             TimeSeries::new(network).expect("generated network samples are ordered"),
+            // ecas-lint: allow(panic-safety, reason = "samples are generated on a strictly increasing time grid")
             TimeSeries::new(signal).expect("generated signal samples are ordered"),
         )
     }

@@ -147,6 +147,7 @@ impl SessionGenerator {
             seed: Some(self.seed),
         };
 
+        // ecas-lint: allow(panic-safety, reason = "the synthesizers above always produce non-empty channels")
         SessionTrace::new(meta, network, signal, accel).expect("generated channels are non-empty")
     }
 }

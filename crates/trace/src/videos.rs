@@ -154,6 +154,7 @@ impl EvalTraceSpec {
                 (Seconds::zero(), Context::Walking),
                 (Seconds::new((t * 0.05).max(1.0)), Context::MovingVehicle),
             ])
+            // ecas-lint: allow(panic-safety, reason = "the schedule literal is sorted and non-empty by construction")
             .expect("static schedule is valid")
         } else if v >= 4.0 {
             // Mixed: vehicle ride with a quiet stretch (trace 5).
@@ -162,6 +163,7 @@ impl EvalTraceSpec {
                 (Seconds::new(t * 0.60), Context::Walking),
                 (Seconds::new(t * 0.75), Context::MovingVehicle),
             ])
+            // ecas-lint: allow(panic-safety, reason = "the schedule literal is sorted and non-empty by construction")
             .expect("static schedule is valid")
         } else {
             // Mostly quiet with a short walk (trace 2).
@@ -169,6 +171,7 @@ impl EvalTraceSpec {
                 (Seconds::zero(), Context::QuietRoom),
                 (Seconds::new(t * 0.80), Context::Walking),
             ])
+            // ecas-lint: allow(panic-safety, reason = "the schedule literal is sorted and non-empty by construction")
             .expect("static schedule is valid")
         }
     }

@@ -1,0 +1,135 @@
+//! NaN-safe total-order helpers for `f64`.
+//!
+//! The trace-driven comparisons this workspace reproduces are only valid
+//! when every float ordering is total: a NaN slipping into a
+//! `partial_cmp().unwrap()` turns a quiet model-fitting bug into a panic
+//! (or, with `max_by(partial_cmp)`, into a silently wrong winner). Every
+//! sort/min/max over raw floats in the workspace routes through these
+//! helpers, which delegate to [`f64::total_cmp`]; the `float-compare`
+//! rule of `ecas-lint` keeps it that way.
+//!
+//! # Examples
+//!
+//! ```
+//! use ecas_types::float;
+//!
+//! let mut xs = vec![2.0, f64::NAN, 1.0];
+//! float::total_sort(&mut xs);
+//! assert_eq!(xs[0], 1.0);
+//! assert_eq!(xs[1], 2.0);
+//! assert!(xs[2].is_nan()); // NaN sorts last, deterministically
+//!
+//! assert_eq!(float::total_max([1.0, 3.0, 2.0]), Some(3.0));
+//! assert_eq!(float::total_min([1.0, 3.0, 2.0]), Some(1.0));
+//! ```
+
+use std::cmp::Ordering;
+
+/// Sorts a float slice with the IEEE-754 total order (NaN sorts after
+/// every number, `-0.0` before `0.0`).
+pub fn total_sort(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+
+/// Sorts a slice by a float key with the total order.
+pub fn total_sort_by_key<T>(xs: &mut [T], mut key: impl FnMut(&T) -> f64) {
+    xs.sort_by(|a, b| key(a).total_cmp(&key(b)));
+}
+
+/// Maximum of a float iterator under the total order; `None` when empty.
+pub fn total_max(xs: impl IntoIterator<Item = f64>) -> Option<f64> {
+    xs.into_iter().max_by(|a, b| a.total_cmp(b))
+}
+
+/// Minimum of a float iterator under the total order; `None` when empty.
+pub fn total_min(xs: impl IntoIterator<Item = f64>) -> Option<f64> {
+    xs.into_iter().min_by(|a, b| a.total_cmp(b))
+}
+
+/// Element whose float key is largest under the total order.
+pub fn total_max_by_key<T>(
+    xs: impl IntoIterator<Item = T>,
+    mut key: impl FnMut(&T) -> f64,
+) -> Option<T> {
+    xs.into_iter().max_by(|a, b| key(a).total_cmp(&key(b)))
+}
+
+/// Element whose float key is smallest under the total order.
+pub fn total_min_by_key<T>(
+    xs: impl IntoIterator<Item = T>,
+    mut key: impl FnMut(&T) -> f64,
+) -> Option<T> {
+    xs.into_iter().min_by(|a, b| key(a).total_cmp(&key(b)))
+}
+
+/// An `f64` wrapper that is [`Ord`] via [`f64::total_cmp`], for use in
+/// `BinaryHeap`s and B-tree keys (e.g. Dijkstra distances in
+/// `ecas-abr`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TotalF64(pub f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_sorts_last_and_never_panics() {
+        let mut xs = vec![f64::NAN, 1.0, -1.0, f64::INFINITY];
+        total_sort(&mut xs);
+        assert_eq!(xs[0], -1.0);
+        assert_eq!(xs[1], 1.0);
+        assert_eq!(xs[2], f64::INFINITY);
+        assert!(xs[3].is_nan());
+    }
+
+    #[test]
+    fn max_min_ignore_order_of_appearance() {
+        assert_eq!(total_max([2.0, 9.0, 4.0]), Some(9.0));
+        assert_eq!(total_min([2.0, 9.0, 4.0]), Some(2.0));
+        assert_eq!(total_max(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn by_key_variants_return_the_element() {
+        let words = ["a", "abc", "ab"];
+        let longest = total_max_by_key(words, |w| w.len() as f64);
+        assert_eq!(longest, Some("abc"));
+        let shortest = total_min_by_key(words, |w| w.len() as f64);
+        assert_eq!(shortest, Some("a"));
+    }
+
+    #[test]
+    fn sort_by_key_orders_structs() {
+        let mut pairs = vec![(2.0, 'b'), (1.0, 'a'), (3.0, 'c')];
+        total_sort_by_key(&mut pairs, |p| p.0);
+        assert_eq!(pairs, vec![(1.0, 'a'), (2.0, 'b'), (3.0, 'c')]);
+    }
+
+    #[test]
+    fn total_f64_orders_in_a_heap() {
+        use std::collections::BinaryHeap;
+        let mut heap = BinaryHeap::new();
+        for v in [1.5, -2.0, f64::NAN, 0.0] {
+            heap.push(TotalF64(v));
+        }
+        let top = heap.pop().map(|t| t.0);
+        assert!(top.is_some_and(f64::is_nan)); // NaN is the total-order max
+        assert_eq!(heap.pop(), Some(TotalF64(1.5)));
+    }
+}

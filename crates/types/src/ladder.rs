@@ -279,6 +279,7 @@ impl BitrateLadder {
             .iter()
             .map(|&(mbps, r)| LadderEntry::with_resolution(Mbps::new(mbps), r))
             .collect();
+        // ecas-lint: allow(panic-safety, reason = "the static Table II data is well-formed; exercised by unit tests")
         Self::from_entries(entries).expect("static Table II ladder is valid")
     }
 
@@ -286,6 +287,7 @@ impl BitrateLadder {
     #[must_use]
     pub fn evaluation() -> Self {
         Self::from_bitrates(EVALUATION.iter().map(|&m| Mbps::new(m)).collect())
+            // ecas-lint: allow(panic-safety, reason = "the static evaluation ladder is well-formed; exercised by unit tests")
             .expect("static evaluation ladder is valid")
     }
 
@@ -331,12 +333,14 @@ impl BitrateLadder {
     /// The lowest-bitrate entry.
     #[must_use]
     pub fn lowest(&self) -> &LadderEntry {
+        // ecas-lint: allow(panic-safety, reason = "ladder constructors reject empty ladders")
         self.entries.first().expect("ladder is never empty")
     }
 
     /// The highest-bitrate entry.
     #[must_use]
     pub fn highest(&self) -> &LadderEntry {
+        // ecas-lint: allow(panic-safety, reason = "ladder constructors reject empty ladders")
         self.entries.last().expect("ladder is never empty")
     }
 

@@ -95,6 +95,7 @@ macro_rules! float_unit {
             pub fn new(value: f64) -> Self {
                 match Self::try_new(value) {
                     Ok(v) => v,
+                    // ecas-lint: allow(panic-safety, reason = "new() is the documented panicking constructor; try_new is the fallible path")
                     Err(e) => panic!("invalid {}: {e}", $unit_str),
                 }
             }
@@ -144,6 +145,7 @@ macro_rules! float_unit {
             /// Returns `true` if the value is exactly zero.
             #[must_use]
             pub fn is_zero(self) -> bool {
+                // ecas-lint: allow(float-compare, reason = "is_zero intentionally tests exact bit-level zero")
                 self.0 == 0.0
             }
 
@@ -469,6 +471,8 @@ impl Div<Mbps> for MegaBytes {
 }
 
 #[cfg(test)]
+// Tests assert exact fixture values; clippy::float_cmp guards library code.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

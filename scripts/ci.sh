@@ -4,7 +4,7 @@
 # beyond a stock Rust toolchain.
 #
 # Usage: scripts/ci.sh [--quick]
-#   --quick   skip clippy (build + test only)
+#   --quick   skip clippy (build + test + ecas-lint only)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,6 +22,9 @@ done
 
 echo "==> build (release)"
 cargo build --release --workspace
+
+echo "==> ecas-lint (workspace invariants)"
+cargo run --release -p ecas-lint
 
 echo "==> test (workspace)"
 cargo test -q --workspace

@@ -142,10 +142,10 @@ fn nobody_rebuffers_catastrophically() {
     for t in &summary.traces {
         for m in &t.approaches {
             assert!(
-                m.rebuffer_seconds < 60.0,
+                m.rebuffer_seconds.value() < 60.0,
                 "{} stalled {:.0}s on {}",
                 m.approach.label(),
-                m.rebuffer_seconds,
+                m.rebuffer_seconds.value(),
                 t.trace
             );
         }
@@ -159,10 +159,10 @@ fn adaptive_approaches_never_stall_while_youtube_may() {
         for a in [Approach::Ours, Approach::Optimal] {
             let m = t.approach(a).unwrap();
             assert!(
-                m.rebuffer_seconds < 1.0,
+                m.rebuffer_seconds.value() < 1.0,
                 "{} stalled {:.1}s on {}",
                 a.label(),
-                m.rebuffer_seconds,
+                m.rebuffer_seconds.value(),
                 t.trace
             );
         }

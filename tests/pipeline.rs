@@ -1,6 +1,8 @@
 //! Cross-crate pipeline tests: trace generation → sensing → fitting →
 //! control → simulation → metrics, exercised through the public facade.
 
+// Integration tests assert exact fixture values.
+#![allow(clippy::float_cmp)]
 use ecas::abr::{ObjectiveWeights, Online};
 use ecas::power::model::PowerModel;
 use ecas::power::task::TaskEnergyModel;

@@ -2,6 +2,8 @@
 //! robustness, abandonment analysis, battery framing and the MPD layer all
 //! working together through the facade.
 
+// Integration tests assert exact fixture values.
+#![allow(clippy::float_cmp)]
 use ecas::power::battery::Battery;
 use ecas::trace::mpd::Manifest;
 use ecas::trace::synth::context::Context;
