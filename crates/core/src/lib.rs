@@ -52,7 +52,7 @@ pub use approach::Approach;
 pub use metrics::{ComparisonSummary, TraceComparison};
 pub use observe::run_observed;
 pub use report::{render_markdown, Scenario, TraceSelection};
-pub use robustness::{table_v_robustness, RobustnessRow, SeedStat};
+pub use robustness::{fault_sweep, table_v_robustness, FaultSweepCell, RobustnessRow, SeedStat};
 pub use runner::ExperimentRunner;
 pub use viewer::{expected_waste, quit_analysis, QuitAnalysis};
 

@@ -1,12 +1,19 @@
-//! Seed-robustness analysis.
+//! Seed-robustness and fault-robustness analysis.
 //!
 //! The paper evaluates on five collected traces; a synthetic reproduction
 //! can do better and ask how stable the headline numbers are across
 //! re-drawn traces. This module re-generates the Table V set under many
 //! seeds and reports the mean and standard deviation of each headline
 //! metric per approach.
+//!
+//! It also hosts the fault sweep: the same approaches evaluated under
+//! increasing [`ecas_sim::FaultSpec`] intensities, yielding one
+//! degradation curve per approach (see [`fault_sweep`]).
 
+use ecas_sim::FaultSpec;
+use ecas_trace::session::SessionTrace;
 use ecas_trace::videos::EvalTraceSpec;
+use ecas_types::units::{Joules, Seconds};
 use serde::{Deserialize, Serialize};
 
 use crate::approach::Approach;
@@ -26,6 +33,9 @@ pub struct SeedStat {
 
 impl SeedStat {
     fn of(values: &[f64]) -> Self {
+        // An empty slice would silently yield NaN mean/std and poison
+        // every downstream table; fail loudly at the source instead.
+        assert!(!values.is_empty(), "SeedStat::of requires at least one value");
         let n = values.len();
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
@@ -108,6 +118,133 @@ pub fn table_v_robustness(
         .collect()
 }
 
+/// One cell of a fault sweep: an approach evaluated under one fault
+/// intensity, averaged over the evaluation sessions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepCell {
+    /// The approach.
+    pub approach: Approach,
+    /// The [`ecas_sim::FaultSpec::scaled`] intensity in `[0, 1]`.
+    pub intensity: f64,
+    /// Mean per-session QoE.
+    pub mean_qoe: f64,
+    /// QoE lost relative to the same approach at intensity zero
+    /// (positive = the faults hurt).
+    pub qoe_degradation: f64,
+    /// Mean whole-session energy.
+    pub mean_energy: Joules,
+    /// Mean rebuffer time per session.
+    pub mean_rebuffer: Seconds,
+    /// Total download retries across the sessions.
+    pub retries: usize,
+    /// Total aborted attempts across the sessions.
+    pub aborts: usize,
+    /// Total segments delivered at the fallback level.
+    pub degraded_segments: usize,
+    /// Total radio energy wasted on aborted attempts.
+    pub wasted_energy: Joules,
+    /// Total injected outage time overlapping the sessions.
+    pub outage_time: Seconds,
+}
+
+/// Sweeps approaches across fault intensities, producing one degradation
+/// curve per approach (cells are intensity-major, `approaches`-minor —
+/// the same order as nested `for intensity { for approach }` loops).
+///
+/// Intensity `0.0` is always evaluated (and prepended if absent) because
+/// every cell's [`FaultSweepCell::qoe_degradation`] is measured against
+/// the same approach on the fault-free link.
+///
+/// # Examples
+///
+/// ```
+/// use ecas_core::robustness::fault_sweep;
+/// use ecas_core::trace::videos::EvalTraceSpec;
+/// use ecas_core::{Approach, ExperimentRunner};
+///
+/// let sessions = vec![EvalTraceSpec::table_v()[0].generate()];
+/// let cells = fault_sweep(
+///     &ExperimentRunner::paper(),
+///     &sessions,
+///     &[Approach::Youtube],
+///     &[0.5],
+///     7,
+/// );
+/// assert_eq!(cells.len(), 2); // intensity 0.0 prepended
+/// assert!(cells[0].qoe_degradation.abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sessions`, `approaches` or `intensities` is empty, or if an
+/// intensity lies outside `[0, 1]`.
+#[must_use]
+pub fn fault_sweep(
+    runner: &ExperimentRunner,
+    sessions: &[SessionTrace],
+    approaches: &[Approach],
+    intensities: &[f64],
+    seed: u64,
+) -> Vec<FaultSweepCell> {
+    assert!(!sessions.is_empty(), "at least one session required");
+    assert!(!approaches.is_empty(), "at least one approach required");
+    assert!(!intensities.is_empty(), "at least one intensity required");
+    assert!(
+        intensities.iter().all(|i| (0.0..=1.0).contains(i)),
+        "intensities must lie in [0, 1]"
+    );
+
+    let mut levels: Vec<f64> = Vec::with_capacity(intensities.len() + 1);
+    if intensities.first().copied().unwrap_or(1.0) > 0.0 {
+        levels.push(0.0);
+    }
+    levels.extend_from_slice(intensities);
+
+    let mut cells: Vec<FaultSweepCell> = Vec::with_capacity(levels.len() * approaches.len());
+    let mut baseline_qoe: Vec<f64> = Vec::new();
+    for &intensity in &levels {
+        let spec = FaultSpec::scaled(intensity, seed);
+        let faulty = ExperimentRunner::new(
+            runner.simulator().clone().with_faults(spec),
+            runner.eta(),
+        );
+        for (ai, &approach) in approaches.iter().enumerate() {
+            let results: Vec<_> = sessions
+                .iter()
+                .map(|s| faulty.run(s, &approach))
+                .collect();
+            let n = results.len() as f64;
+            let mean_qoe = results.iter().map(|r| r.mean_qoe.value()).sum::<f64>() / n;
+            if baseline_qoe.len() <= ai {
+                // First intensity evaluated is always 0.0 (fault-free).
+                baseline_qoe.push(mean_qoe);
+            }
+            cells.push(FaultSweepCell {
+                approach,
+                intensity,
+                mean_qoe,
+                qoe_degradation: baseline_qoe.get(ai).copied().unwrap_or(mean_qoe) - mean_qoe,
+                mean_energy: Joules::new(
+                    results.iter().map(|r| r.total_energy.value()).sum::<f64>() / n,
+                ),
+                mean_rebuffer: Seconds::new(
+                    results.iter().map(|r| r.total_rebuffer.value()).sum::<f64>() / n,
+                ),
+                retries: results.iter().map(|r| r.retries).sum(),
+                aborts: results.iter().map(|r| r.aborts).sum(),
+                degraded_segments: results.iter().map(|r| r.degraded_segments).sum(),
+                wasted_energy: Joules::new(
+                    results.iter().map(|r| r.wasted_energy.value()).sum(),
+                ),
+                outage_time: Seconds::new(
+                    results.iter().map(|r| r.outage_time.value()).sum(),
+                ),
+            });
+        }
+    }
+    cells
+}
+
 #[cfg(test)]
 // Tests assert exact fixture values; clippy::float_cmp guards library code.
 #[allow(clippy::float_cmp)]
@@ -147,5 +284,63 @@ mod tests {
     fn rejects_empty_seed_list() {
         let runner = ExperimentRunner::paper();
         let _ = table_v_robustness(&runner, &[Approach::Youtube], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn seed_stat_rejects_empty_slice() {
+        let _ = SeedStat::of(&[]);
+    }
+
+    fn sweep_sessions() -> Vec<SessionTrace> {
+        use ecas_trace::synth::context::{Context, ContextSchedule};
+        use ecas_trace::synth::SessionGenerator;
+        vec![SessionGenerator::new(
+            "fault-sweep-test",
+            ContextSchedule::constant(Context::Walking),
+            Seconds::new(60.0),
+            11,
+        )
+        .generate()]
+    }
+
+    #[test]
+    fn fault_sweep_prepends_baseline_and_is_deterministic() {
+        let runner = ExperimentRunner::paper();
+        let sessions = sweep_sessions();
+        let approaches = [Approach::Youtube, Approach::Ours];
+        let a = fault_sweep(&runner, &sessions, &approaches, &[0.6], 3);
+        let b = fault_sweep(&runner, &sessions, &approaches, &[0.6], 3);
+        assert_eq!(a, b, "same seed and spec must reproduce exactly");
+        // Two intensities (0.0 prepended) x two approaches.
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].intensity, 0.0);
+        assert_eq!(a[2].intensity, 0.6);
+        // The baseline row measures zero degradation by construction.
+        assert_eq!(a[0].qoe_degradation, 0.0);
+        assert_eq!(a[0].retries, 0);
+        assert_eq!(a[0].outage_time, Seconds::zero());
+    }
+
+    #[test]
+    fn fault_sweep_hostile_link_causes_retries() {
+        let runner = ExperimentRunner::paper();
+        let sessions = sweep_sessions();
+        let cells = fault_sweep(&runner, &sessions, &[Approach::Youtube], &[1.0], 5);
+        let severe = cells.last().unwrap();
+        assert_eq!(severe.intensity, 1.0);
+        assert!(
+            severe.retries > 0 || severe.outage_time.value() > 0.0,
+            "a severe link must visibly perturb the session: {severe:?}"
+        );
+        assert!(severe.mean_qoe.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one intensity")]
+    fn fault_sweep_rejects_empty_intensities() {
+        let runner = ExperimentRunner::paper();
+        let sessions = sweep_sessions();
+        let _ = fault_sweep(&runner, &sessions, &[Approach::Youtube], &[], 1);
     }
 }

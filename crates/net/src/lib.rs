@@ -223,7 +223,11 @@ impl BandwidthEstimator for SlidingPercentile {
         }
         let mut sorted: Vec<f64> = self.samples.iter().copied().collect();
         ecas_types::float::total_sort(&mut sorted);
-        let rank = (self.percentile * (sorted.len() - 1) as f64).round() as usize;
+        // Nearest-rank from below: rounding the rank up could report a
+        // value *above* the requested percentile, which for a conservative
+        // estimator means overshooting the link (e.g. p25 of 4 samples
+        // must pick index 0, not index 1).
+        let rank = (self.percentile * (sorted.len() - 1) as f64).floor() as usize;
         Some(Mbps::new(sorted[rank]))
     }
 
@@ -307,6 +311,25 @@ mod tests {
         }
         let est = p.estimate().unwrap().value();
         assert!(est <= 6.0, "p25 of the window is low: {est}");
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank_from_below() {
+        // p25 over n samples must pick index floor(0.25 * (n - 1)):
+        // n = 2..=4 -> index 0, n = 5..=6 -> index 1. The old `.round()`
+        // picked index 1 already at n = 3, overshooting the percentile.
+        let expected = [(2, 1.0), (3, 1.0), (4, 1.0), (5, 2.0), (6, 2.0)];
+        for &(n, want) in &expected {
+            let mut p = SlidingPercentile::new(10, 0.25);
+            for v in 1..=n {
+                p.observe(Mbps::new(f64::from(v)));
+            }
+            let est = p.estimate().unwrap().value();
+            assert!(
+                (est - want).abs() < 1e-12,
+                "p25 of 1..={n} should be {want}, got {est}"
+            );
+        }
     }
 
     #[test]

@@ -30,6 +30,15 @@
 //!   timings ([`span!`]). They power profiling summaries and are *not*
 //!   byte-reproducible; they never enter the event stream.
 //!
+//! # Counter conventions
+//!
+//! Counter names are `<area>/<noun>` in snake case, counting discrete
+//! simulation occurrences. The simulator's set: `sim/segments`,
+//! `sim/level_switches`, `sim/idle_waits`, `sim/deferrals`, and — under
+//! fault injection — `sim/retries`, `sim/aborts`, `sim/outages` and
+//! `sim/degraded_segments`. Continuous fault-injection quantities are
+//! gauges, not counters: `sim/outage_seconds`, `sim/wasted_energy_j`.
+//!
 //! # Example
 //!
 //! ```

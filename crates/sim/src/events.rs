@@ -11,6 +11,27 @@ use ecas_types::ladder::LevelIndex;
 use ecas_types::units::{Mbps, MetersPerSec2, Seconds};
 use serde::{Deserialize, Serialize};
 
+/// Why a download attempt was abandoned (see the fault-injected download
+/// path in [`crate::Simulator`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// The fault plan injected a mid-flight failure (reset connection).
+    InjectedFailure,
+    /// The attempt exceeded the retry policy's per-attempt time budget.
+    StallTimeout,
+}
+
+impl AbortReason {
+    /// Short label used in timelines.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            AbortReason::InjectedFailure => "injected-failure",
+            AbortReason::StallTimeout => "stall-timeout",
+        }
+    }
+}
+
 /// One timestamped event in a streaming session.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SessionEvent {
@@ -77,6 +98,38 @@ pub enum SessionEvent {
         /// Completion time.
         at: Seconds,
     },
+    /// A download attempt was aborted (injected failure or stall timeout).
+    DownloadAborted {
+        /// Abort time.
+        at: Seconds,
+        /// The segment being downloaded.
+        segment: SegmentIndex,
+        /// The 1-based attempt number that failed.
+        attempt: usize,
+        /// Why the attempt was abandoned.
+        reason: AbortReason,
+    },
+    /// The player scheduled another attempt after a backoff wait.
+    Retry {
+        /// Time the retry was scheduled (the abort time).
+        at: Seconds,
+        /// The segment being retried.
+        segment: SegmentIndex,
+        /// The 1-based attempt number about to run.
+        attempt: usize,
+        /// Backoff wait before the attempt starts.
+        backoff: Seconds,
+    },
+    /// An injected link outage began (throughput is zero until the end).
+    OutageStart {
+        /// Outage onset as observed by the player.
+        at: Seconds,
+    },
+    /// An injected link outage ended.
+    OutageEnd {
+        /// Outage end.
+        at: Seconds,
+    },
 }
 
 impl SessionEvent {
@@ -92,7 +145,11 @@ impl SessionEvent {
             | SessionEvent::StallEnd { at }
             | SessionEvent::Deferred { at, .. }
             | SessionEvent::IdleWait { at, .. }
-            | SessionEvent::PlaybackEnd { at } => at,
+            | SessionEvent::PlaybackEnd { at }
+            | SessionEvent::DownloadAborted { at, .. }
+            | SessionEvent::Retry { at, .. }
+            | SessionEvent::OutageStart { at }
+            | SessionEvent::OutageEnd { at } => at,
         }
     }
 }
@@ -232,6 +289,32 @@ impl EventLog {
                     duration.value()
                 ),
                 SessionEvent::PlaybackEnd { at } => format!("{:8.2}s  end", at.value()),
+                SessionEvent::DownloadAborted {
+                    at,
+                    segment,
+                    attempt,
+                    reason,
+                } => format!(
+                    "{:8.2}s  abort    {segment} attempt {attempt} ({})",
+                    at.value(),
+                    reason.label()
+                ),
+                SessionEvent::Retry {
+                    at,
+                    segment,
+                    attempt,
+                    backoff,
+                } => format!(
+                    "{:8.2}s  retry    {segment} attempt {attempt} after {:.2}s backoff",
+                    at.value(),
+                    backoff.value()
+                ),
+                SessionEvent::OutageStart { at } => {
+                    format!("{:8.2}s  outage   link down", at.value())
+                }
+                SessionEvent::OutageEnd { at } => {
+                    format!("{:8.2}s  restore  link up", at.value())
+                }
             };
             out.push_str(&line);
             out.push('\n');

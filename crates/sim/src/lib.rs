@@ -40,11 +40,13 @@
 pub mod config;
 pub mod controller;
 pub mod events;
+pub mod fault;
 pub mod player;
 pub mod result;
 
-pub use config::PlayerConfig;
+pub use config::{PlayerConfig, RetryPolicy};
 pub use controller::{BitrateController, Decision, DecisionContext, ThroughputObservation};
-pub use events::{EventLog, SessionEvent};
+pub use events::{AbortReason, EventLog, SessionEvent};
+pub use fault::{FaultPlan, FaultSpec};
 pub use player::Simulator;
 pub use result::{EnergyBreakdown, SessionResult, TaskRecord};

@@ -12,11 +12,17 @@ use ecas_types::units::{Dbm, Joules, Mbps, MegaBytes, MetersPerSec2, QoeScore, S
 
 use crate::config::PlayerConfig;
 use crate::controller::{BitrateController, Decision, DecisionContext, ThroughputObservation};
-use crate::events::{EventLog, SessionEvent};
+use crate::events::{AbortReason, EventLog, SessionEvent};
+use crate::fault::{FaultPlan, FaultSpec};
 use crate::result::{EnergyBreakdown, SessionResult, TaskRecord};
 
 /// Floor applied to trace throughput so downloads always terminate.
 const MIN_THROUGHPUT_MBPS: f64 = 0.01;
+
+/// Deferral waits shorter than this are pointless (the re-decide loop
+/// would spin); a deferring controller with less buffer slack than the
+/// floor is forced to pick immediately instead.
+const DEFER_FLOOR: f64 = 0.05;
 
 /// The simulator: player config + ladder + power and QoE models.
 ///
@@ -29,6 +35,7 @@ pub struct Simulator {
     power: PowerModel,
     qoe: QoeModel,
     segment_sizes: Option<SegmentSizes>,
+    faults: Option<FaultSpec>,
 }
 
 /// Mutable playback state during a run (times in raw seconds).
@@ -50,6 +57,8 @@ struct PlayState<'p> {
     bitrates: Vec<f64>,
     /// Event log, populated when the caller asked for one.
     events: Option<EventLog>,
+    /// Timestamp of the latest logged event, for monotonic late closes.
+    last_event_at: f64,
 }
 
 impl<'p> PlayState<'p> {
@@ -69,10 +78,12 @@ impl<'p> PlayState<'p> {
             tau,
             bitrates: Vec::new(),
             events: None,
+            last_event_at: 0.0,
         }
     }
 
     fn log(&mut self, event: SessionEvent) {
+        self.last_event_at = self.last_event_at.max(event.at().value());
         if self.probe.events_enabled() {
             // ecas-lint: allow(panic-safety, reason = "SessionEvent is a plain enum of finite floats and strings; serialization cannot fail and this is the per-event hot path")
             let value = serde_json::to_value(&event).expect("session event serializes");
@@ -87,6 +98,22 @@ impl<'p> PlayState<'p> {
     fn playing_bitrate(&self) -> f64 {
         let idx = ((self.playhead / self.tau) as usize).min(self.bitrates.len().saturating_sub(1));
         self.bitrates.get(idx).copied().unwrap_or(0.0)
+    }
+}
+
+/// Logs the end of an injected outage once the clock has passed it. The
+/// event time is clamped forward to the latest logged event so the log
+/// stays time-ordered even when the end is detected late (after a
+/// backoff or idle wait advanced playback past it).
+fn close_outage(state: &mut PlayState, open: &mut Option<f64>, now: f64) {
+    if let Some(end) = *open {
+        if now >= end - 1e-12 {
+            let at = end.max(state.last_event_at);
+            state.log(SessionEvent::OutageEnd {
+                at: Seconds::new(at),
+            });
+            *open = None;
+        }
     }
 }
 
@@ -110,6 +137,7 @@ impl Simulator {
             power,
             qoe,
             segment_sizes: None,
+            faults: None,
         }
     }
 
@@ -124,6 +152,30 @@ impl Simulator {
     pub fn with_segment_sizes(mut self, sizes: SegmentSizes) -> Self {
         self.segment_sizes = Some(sizes);
         self
+    }
+
+    /// Injects deterministic link faults (outages, throughput collapses,
+    /// mid-flight download failures) into every run. The download loop
+    /// survives them with the configured [`crate::config::RetryPolicy`]:
+    /// bounded retries with exponential backoff, then graceful
+    /// degradation to the lowest ladder level. A spec that
+    /// [`FaultSpec::is_active`] returns `false` for leaves the simulator
+    /// byte-identical to a fault-free one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`FaultSpec::is_valid`].
+    #[must_use]
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        assert!(spec.is_valid(), "invalid fault spec: {spec:?}");
+        self.faults = Some(spec);
+        self
+    }
+
+    /// The fault spec in effect, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultSpec> {
+        self.faults.as_ref()
     }
 
     /// The paper's setup: τ = 2 s, B = 30 s, calibrated power and QoE
@@ -325,10 +377,31 @@ impl Simulator {
         let mut prev_level: Option<LevelIndex> = None;
         let mut switches = 0usize;
 
+        // Fault plan: expanded once per run over a horizon generously past
+        // the worst-case session length; beyond it the link is fault-free,
+        // which bounds every retry loop. An inactive spec keeps the run
+        // byte-identical to a fault-free simulator.
+        let fault_plan: Option<FaultPlan> = self
+            .faults
+            .as_ref()
+            .filter(|spec| spec.is_active())
+            .map(|spec| spec.plan(Seconds::new(video_len * 4.0 + 600.0)));
+        let fault = fault_plan.as_ref();
+        let policy = self.config.retry;
+        let mut retries_total = 0usize;
+        let mut aborts_total = 0usize;
+        let mut degraded_total = 0usize;
+        let mut wasted_energy_total = 0.0f64;
+        let mut open_outage: Option<f64> = None;
+
         let mut t = 0.0f64;
         let b_max = self.config.buffer_threshold.value();
 
         for seg in 0..n_segments {
+            // Close any outage that elapsed while the player was busy
+            // elsewhere before this segment's events are logged.
+            close_outage(&mut state, &mut open_outage, t);
+
             // 1. If the buffer is too full for another segment, idle.
             if state.buffer > b_max - tau {
                 let wait = state.buffer - (b_max - tau);
@@ -347,6 +420,7 @@ impl Simulator {
             let mut vibration;
             let decision_span = SpanGuard::new(probe, "sim/decision");
             let level = loop {
+                close_outage(&mut state, &mut open_outage, t);
                 while let Some(&sample) = accel.get(accel_cursor) {
                     if sample.time.value() > t {
                         break;
@@ -371,14 +445,22 @@ impl Simulator {
                 };
                 match controller.decide(&ctx) {
                     Decision::Download(level) => break level,
-                    Decision::Defer(_) if !state.playing || state.buffer <= tau + 1e-9 => {
-                        // Cannot afford to wait: force an immediate pick.
+                    Decision::Defer(_)
+                        if !state.playing || state.buffer - tau <= DEFER_FLOOR + 1e-9 =>
+                    {
+                        // Cannot afford a meaningful wait (slack below the
+                        // deferral floor): force an immediate pick. The
+                        // sub-floor case matters — clamping the wait with
+                        // `min > max` would panic.
                         break controller.select(&ctx);
                     }
                     Decision::Defer(wait) => {
                         // Waiting is bounded by the buffer slack so a
-                        // deferral can never cause a stall by itself.
-                        let wait = wait.value().clamp(0.05, state.buffer - tau);
+                        // deferral can never cause a stall by itself. The
+                        // min/max pair is ordered for every slack value,
+                        // unlike `clamp(floor, slack)`.
+                        let slack = state.buffer - tau;
+                        let wait = wait.value().min(slack).max(slack.min(DEFER_FLOOR));
                         probe.add("sim/deferrals", 1);
                         state.log(SessionEvent::Deferred {
                             at: Seconds::new(t),
@@ -418,36 +500,173 @@ impl Simulator {
                 }
             }
 
-            // 5. Download the segment through the trace.
+            // 5. Download the segment through the trace. Under fault
+            // injection this is a bounded retry/timeout/backoff state
+            // machine: an attempt that hits an injected failure or
+            // outlives the per-attempt budget is aborted and retried with
+            // exponential backoff; once the retry budget is spent the
+            // player degrades gracefully to the lowest ladder level
+            // (whose attempts run without timeouts or injected failures,
+            // so every session terminates).
             let download_start = t;
             state.log(SessionEvent::DownloadStart {
                 at: Seconds::new(t),
                 segment: SegmentIndex::new(seg),
             });
             state.stall_this_task = 0.0;
+            let mut level = level;
+            let mut bitrate = bitrate;
+            let mut size = size;
             let mut remaining_mb = size.value();
             let mut radio_energy_task = 0.0;
+            let mut attempt = 1usize;
+            let mut attempt_start = t;
+            let mut degraded = false;
             let download_span = SpanGuard::new(probe, "sim/download");
-            while remaining_mb > 1e-12 {
-                let thr = network
-                    .throughput_at(Seconds::new(t))
-                    .value()
-                    .max(MIN_THROUGHPUT_MBPS);
-                // Next point where the step function may change.
-                let next_change = network
-                    .index_at_or_before(Seconds::new(t))
-                    .and_then(|i| network.as_slice().get(i + 1))
-                    .map_or(f64::INFINITY, |s| s.time.value());
-                let mbps_in_mbytes = thr / 8.0;
-                let finish = t + remaining_mb / mbps_in_mbytes;
-                let chunk_end = finish.min(if next_change > t { next_change } else { finish });
-                let dt = chunk_end - t;
-                let moved = mbps_in_mbytes * dt;
-                remaining_mb = (remaining_mb - moved).max(0.0);
-                let s_now = signal.signal_at(Seconds::new(t));
-                radio_energy_task += self.power.radio_power(s_now, Mbps::new(thr)).value() * dt;
-                self.advance(&mut state, t, chunk_end);
-                t = chunk_end;
+            'attempts: loop {
+                let deadline = (fault.is_some() && !degraded)
+                    .then(|| attempt_start + policy.attempt_timeout.value());
+                // A doomed attempt resets once `frac` of the segment's
+                // bytes are through (fast links fail mid-transfer) or at
+                // `frac` of the time budget (stuck links fail while
+                // waiting), whichever the clock reaches first.
+                let doomed = if degraded {
+                    None
+                } else {
+                    fault.and_then(|p| p.attempt_failure(seg, attempt))
+                };
+                let doomed_time =
+                    doomed.map(|frac| attempt_start + frac * policy.attempt_timeout.value());
+                let fail_floor_mb = doomed.map(|frac| (1.0 - frac) * size.value());
+                let mut attempt_energy = 0.0f64;
+                let mut failed_injected = false;
+                while remaining_mb > 1e-12 {
+                    close_outage(&mut state, &mut open_outage, t);
+                    if fail_floor_mb.is_some_and(|floor| remaining_mb <= floor + 1e-12)
+                        || doomed_time.is_some_and(|d| t >= d - 1e-9)
+                    {
+                        failed_injected = true;
+                        break;
+                    }
+                    if deadline.is_some_and(|d| t >= d - 1e-9) {
+                        break;
+                    }
+                    let thr = network
+                        .throughput_at(Seconds::new(t))
+                        .value()
+                        .max(MIN_THROUGHPUT_MBPS);
+                    let factor = fault.map_or(1.0, |p| p.factor_at(Seconds::new(t)));
+                    if factor <= 0.0 && open_outage.is_none() {
+                        if let Some((_, end)) =
+                            fault.and_then(|p| p.outage_containing(Seconds::new(t)))
+                        {
+                            probe.add("sim/outages", 1);
+                            state.log(SessionEvent::OutageStart {
+                                at: Seconds::new(t),
+                            });
+                            open_outage = Some(end.value());
+                        }
+                    }
+                    // Next point where the step function may change.
+                    let next_change = network
+                        .index_at_or_before(Seconds::new(t))
+                        .and_then(|i| network.as_slice().get(i + 1))
+                        .map_or(f64::INFINITY, |s| s.time.value());
+                    let next_change = if next_change > t {
+                        next_change
+                    } else {
+                        f64::INFINITY
+                    };
+                    let next_fault = fault
+                        .and_then(|p| p.next_transition_after(Seconds::new(t)))
+                        .map_or(f64::INFINITY, Seconds::value);
+                    let hard_stop = deadline
+                        .unwrap_or(f64::INFINITY)
+                        .min(doomed_time.unwrap_or(f64::INFINITY));
+                    let eff = thr * factor;
+                    let mbps_in_mbytes = eff / 8.0;
+                    let chunk_end = if eff > 0.0 {
+                        // A doomed attempt only transfers down to its
+                        // failure floor before resetting.
+                        let target_mb = fail_floor_mb
+                            .map_or(remaining_mb, |floor| remaining_mb - floor)
+                            .max(0.0);
+                        let finish = t + target_mb / mbps_in_mbytes;
+                        finish.min(next_change).min(next_fault).min(hard_stop)
+                    } else {
+                        // Outage: zero goodput until the link or the
+                        // attempt's abort schedule gives way.
+                        next_change.min(next_fault).min(hard_stop)
+                    };
+                    debug_assert!(
+                        chunk_end.is_finite() && chunk_end > t,
+                        "download chunk must advance: t={t}, chunk_end={chunk_end}"
+                    );
+                    let dt = chunk_end - t;
+                    let moved = mbps_in_mbytes * dt;
+                    remaining_mb = (remaining_mb - moved).max(0.0);
+                    let s_now = signal.signal_at(Seconds::new(t));
+                    // The radio burns its baseline power even at zero
+                    // goodput: it is actively holding (or re-acquiring)
+                    // the link through outages and doomed attempts.
+                    attempt_energy +=
+                        self.power.radio_power(s_now, Mbps::new(eff)).value() * dt;
+                    self.advance(&mut state, t, chunk_end);
+                    t = chunk_end;
+                }
+                radio_energy_task += attempt_energy;
+                if remaining_mb <= 1e-12 {
+                    break 'attempts;
+                }
+
+                // Aborted: account the wasted attempt, back off, retry —
+                // degrading to the ladder floor once the budget is spent.
+                wasted_energy_total += attempt_energy;
+                aborts_total += 1;
+                probe.add("sim/aborts", 1);
+                let reason = if failed_injected {
+                    AbortReason::InjectedFailure
+                } else {
+                    AbortReason::StallTimeout
+                };
+                state.log(SessionEvent::DownloadAborted {
+                    at: Seconds::new(t),
+                    segment: SegmentIndex::new(seg),
+                    attempt,
+                    reason,
+                });
+                if !degraded && attempt >= policy.max_attempts {
+                    degraded = true;
+                    degraded_total += 1;
+                    probe.add("sim/degraded_segments", 1);
+                    level = LevelIndex::new(0);
+                    bitrate = self.ladder.bitrate(level);
+                    size = self
+                        .segment_sizes
+                        .as_ref()
+                        .and_then(|tbl| tbl.get(seg, level))
+                        .unwrap_or_else(|| bitrate.data_over(self.config.segment_duration));
+                }
+                let backoff = policy.backoff_for(attempt).value();
+                retries_total += 1;
+                probe.add("sim/retries", 1);
+                state.log(SessionEvent::Retry {
+                    at: Seconds::new(t),
+                    segment: SegmentIndex::new(seg),
+                    attempt: attempt + 1,
+                    backoff: Seconds::new(backoff),
+                });
+                // The radio idles through the backoff; its RRC tail keeps
+                // burning for up to the tail window.
+                if self.config.radio_tail {
+                    tail_energy_total += self.power.tail_power().value()
+                        * backoff.min(self.power.tail_seconds().value());
+                }
+                self.advance(&mut state, t, t + backoff);
+                t += backoff;
+                attempt += 1;
+                attempt_start = t;
+                remaining_mb = size.value();
             }
             let download_end = t;
             drop(download_span);
@@ -529,6 +748,8 @@ impl Simulator {
             }
         }
 
+        close_outage(&mut state, &mut open_outage, t);
+
         // Drain the remaining buffer.
         if !state.playing {
             state.playing = true;
@@ -540,6 +761,10 @@ impl Simulator {
             t += dt;
         }
         let wall_time = t;
+        let outage_time = fault.map_or(0.0, |p| {
+            p.outage_seconds_between(Seconds::zero(), Seconds::new(wall_time))
+                .value()
+        });
 
         let screen_energy = self.power.screen_power().value() * wall_time;
         let energy = EnergyBreakdown {
@@ -558,6 +783,10 @@ impl Simulator {
             probe.gauge("sim/energy/tail_j", energy.tail.value());
             probe.gauge("sim/rebuffer_s", state.stall_total);
             probe.gauge("sim/mean_qoe", mean_qoe.value());
+            if fault.is_some() {
+                probe.gauge("sim/outage_seconds", outage_time);
+                probe.gauge("sim/wasted_energy_j", wasted_energy_total);
+            }
         }
 
         let result = SessionResult {
@@ -572,6 +801,11 @@ impl Simulator {
             played: Seconds::new(state.playhead),
             wall_time: Seconds::new(wall_time),
             downloaded: MegaBytes::new(downloaded_total),
+            retries: retries_total,
+            aborts: aborts_total,
+            degraded_segments: degraded_total,
+            outage_time: Seconds::new(outage_time),
+            wasted_energy: Joules::new(wasted_energy_total),
             tasks,
         };
         (result, state.events.take())

@@ -80,8 +80,26 @@ pub struct SessionResult {
     pub played: Seconds,
     /// Wall-clock duration of the session.
     pub wall_time: Seconds,
-    /// Total bytes downloaded.
+    /// Total bytes downloaded (delivered segments; aborted partial
+    /// transfers are accounted in [`SessionResult::wasted_energy`] only).
     pub downloaded: MegaBytes,
+    /// Download retries across the session (fault injection only).
+    #[serde(default)]
+    pub retries: usize,
+    /// Aborted download attempts (injected failures + stall timeouts).
+    #[serde(default)]
+    pub aborts: usize,
+    /// Segments delivered at the fallback (lowest) ladder level after
+    /// exhausting the retry budget.
+    #[serde(default)]
+    pub degraded_segments: usize,
+    /// Injected link-outage time overlapping the session.
+    #[serde(default)]
+    pub outage_time: Seconds,
+    /// Radio energy spent on aborted download attempts (a subset of
+    /// [`EnergyBreakdown::radio`], already included in the totals).
+    #[serde(default)]
+    pub wasted_energy: Joules,
 }
 
 impl SessionResult {

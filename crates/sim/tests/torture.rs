@@ -113,6 +113,7 @@ fn tiny_buffer_threshold_config() {
         buffer_threshold: Seconds::new(2.0), // exactly one segment
         startup_threshold: Seconds::new(2.0),
         radio_tail: true,
+        ..PlayerConfig::paper()
     };
     assert!(config.is_valid());
     let s = session_with_network(

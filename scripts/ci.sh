@@ -49,4 +49,18 @@ for artifact in manifest.json metrics.txt events timelines; do
     fi
 done
 
+echo "==> smoke: fault injection (determinism + liveness)"
+./target/release/fault_sweep --smoke > "$obs_dir/fault_sweep_1.txt"
+./target/release/fault_sweep --smoke > "$obs_dir/fault_sweep_2.txt"
+if ! cmp -s "$obs_dir/fault_sweep_1.txt" "$obs_dir/fault_sweep_2.txt"; then
+    echo "fault sweep is not byte-identical across runs" >&2
+    diff "$obs_dir/fault_sweep_1.txt" "$obs_dir/fault_sweep_2.txt" >&2 || true
+    exit 1
+fi
+if ! grep -Eq 'total_retries=[1-9][0-9]*' "$obs_dir/fault_sweep_1.txt"; then
+    echo "fault smoke produced zero retries; injection is dead" >&2
+    cat "$obs_dir/fault_sweep_1.txt" >&2
+    exit 1
+fi
+
 echo "CI OK"

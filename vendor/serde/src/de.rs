@@ -252,3 +252,19 @@ pub fn field<T: Deserialize>(
         None => T::from_value(&Value::Null).map_err(|_| Error::missing_field(ty, name)),
     }
 }
+
+/// Extracts one struct field, falling back to `Default::default()` when
+/// the key is absent. The derive maps `#[serde(default)]` fields here, so
+/// structs can grow fields without invalidating previously serialized
+/// data.
+pub fn field_or_default<T: Deserialize + Default>(
+    entries: &[(String, Value)],
+    ty: &str,
+    name: &str,
+) -> Result<T, Error> {
+    match entries.iter().rev().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| Error::custom(format!("field `{name}` of {ty}: {e}"))),
+        None => Ok(T::default()),
+    }
+}

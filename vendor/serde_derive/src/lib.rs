@@ -28,8 +28,15 @@ struct ContainerAttrs {
     into: Option<String>,
 }
 
+struct Field {
+    name: String,
+    /// Field-level `#[serde(default)]`: a missing key deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
+}
+
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -141,6 +148,58 @@ fn parse_serde_attr(inner: &[TokenTree], attrs: &mut ContainerAttrs) {
     }
 }
 
+#[derive(Default)]
+struct FieldAttrs {
+    default: bool,
+}
+
+/// Consumes leading `#[...]` attributes on a field or variant, folding
+/// `#[serde(...)]` contents into `attrs`. Returns the new cursor position.
+fn skip_field_attrs(tokens: &[TokenTree], mut i: usize, attrs: &mut FieldAttrs) -> usize {
+    while is_punct(tokens.get(i), '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                parse_field_serde_attr(&g.stream().into_iter().collect::<Vec<_>>(), attrs);
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    i
+}
+
+/// Parses the inside of one field-level `#[...]`; only `serde(...)` is
+/// interpreted, and only the attributes the workspace uses are accepted.
+fn parse_field_serde_attr(inner: &[TokenTree], attrs: &mut FieldAttrs) {
+    if !is_ident(inner.first(), "serde") {
+        return;
+    }
+    let Some(TokenTree::Group(g)) = inner.get(1) else {
+        return;
+    };
+    let items: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < items.len() {
+        let key = match ident_string(items.get(j)) {
+            Some(k) => k,
+            None => {
+                j += 1;
+                continue;
+            }
+        };
+        assert!(
+            !is_punct(items.get(j + 1), '='),
+            "unsupported serde field attribute `{key} = ...`"
+        );
+        match key.as_str() {
+            "default" => attrs.default = true,
+            other => panic!("unsupported serde field attribute `{other}`"),
+        }
+        j += 2; // key ,
+    }
+}
+
 /// Extracts the type-parameter idents from the tokens inside `<...>`
 /// (excluding the angle brackets themselves).
 fn generic_param_idents(tokens: &[TokenTree]) -> Vec<String> {
@@ -178,14 +237,15 @@ fn generic_param_idents(tokens: &[TokenTree]) -> Vec<String> {
     idents
 }
 
-/// Parses field names out of a named-fields brace group.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Parses field names (and field-level serde attributes) out of a
+/// named-fields brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut names = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let mut ignored = ContainerAttrs::default();
-        i = skip_attrs(&tokens, i, &mut ignored);
+        let mut attrs = FieldAttrs::default();
+        i = skip_field_attrs(&tokens, i, &mut attrs);
         if i >= tokens.len() {
             break;
         }
@@ -198,7 +258,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             }
         }
         let name = ident_string(tokens.get(i)).expect("expected field name");
-        names.push(name);
+        names.push(Field {
+            name,
+            default: attrs.default,
+        });
         i += 1;
         assert!(is_punct(tokens.get(i), ':'), "expected `:` after field name");
         i += 1;
@@ -447,7 +510,7 @@ fn gen_serialize(input: &Input) -> String {
         match &input.data {
             Data::Struct(Fields::Named(fields)) if input.attrs.transparent => {
                 assert_eq!(fields.len(), 1, "transparent struct must have one field");
-                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
             }
             Data::Struct(Fields::Named(fields)) => {
                 let mut s = format!(
@@ -456,6 +519,7 @@ fn gen_serialize(input: &Input) -> String {
                     fields.len()
                 );
                 for f in fields {
+                    let f = &f.name;
                     s.push_str(&format!(
                         "__obj.push((::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f})));\n"
@@ -508,13 +572,18 @@ fn gen_serialize(input: &Input) -> String {
                             ));
                         }
                         Fields::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let mut payload = format!(
                                 "let mut __vobj: ::std::vec::Vec<(::std::string::String, \
                                  ::serde::Value)> = ::std::vec::Vec::with_capacity({});\n",
                                 fields.len()
                             );
                             for f in fields {
+                                let f = &f.name;
                                 payload.push_str(&format!(
                                     "__vobj.push((::std::string::String::from(\"{f}\"), \
                                      ::serde::Serialize::to_value({f})));\n"
@@ -573,15 +642,21 @@ fn gen_deserialize(input: &Input) -> String {
                 format!(
                     "::std::result::Result::Ok({name} {{ {f}: \
                      ::serde::Deserialize::from_value(__v)? }})",
-                    f = fields[0]
+                    f = fields[0].name
                 )
             }
             Data::Struct(Fields::Named(fields)) => {
                 let mut s = format!("let __obj = ::serde::de::as_object(__v, \"{name}\")?;\n");
                 s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
                 for f in fields {
+                    let accessor = if f.default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
+                    let f = &f.name;
                     s.push_str(&format!(
-                        "{f}: ::serde::de::field(__obj, \"{name}\", \"{f}\")?,\n"
+                        "{f}: ::serde::de::{accessor}(__obj, \"{name}\", \"{f}\")?,\n"
                     ));
                 }
                 s.push_str("})");
@@ -642,8 +717,14 @@ fn gen_deserialize(input: &Input) -> String {
                                  ::std::result::Result::Ok({name}::{vn} {{\n"
                             );
                             for f in fields {
+                                let accessor = if f.default {
+                                    "field_or_default"
+                                } else {
+                                    "field"
+                                };
+                                let f = &f.name;
                                 arm.push_str(&format!(
-                                    "{f}: ::serde::de::field(__vobj, \"{name}::{vn}\", \
+                                    "{f}: ::serde::de::{accessor}(__vobj, \"{name}::{vn}\", \
                                      \"{f}\")?,\n"
                                 ));
                             }
