@@ -5,13 +5,16 @@
 //! bitrates wastes the most. This binary sweeps quit times over trace 3
 //! and reports the wasted downloads per approach.
 
-use ecas_bench::{Report, Table};
+use ecas_bench::{Cli, Report, Table};
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::types::units::Seconds;
 use ecas_core::viewer::quit_analysis;
 use ecas_core::{Approach, ExperimentRunner};
 
 fn main() {
+    let args = Cli::new("ablation_abandonment", "wasted downloads under early viewer abandonment")
+        .formats()
+        .parse();
     let session = EvalTraceSpec::table_v()[2].generate();
     let runner = ExperimentRunner::paper();
     let tau = Seconds::new(2.0);
@@ -44,5 +47,5 @@ fn main() {
         .table("", table)
         .note("the context-aware approaches waste several times less than the fixed")
         .note("1080p player because the in-flight buffer holds cheaper segments.");
-    report.emit();
+    report.emit(args.format());
 }

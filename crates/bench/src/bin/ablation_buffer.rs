@@ -4,7 +4,7 @@
 //! (more rebuffering risk for aggressive policies); larger buffers smooth
 //! the schedule.
 
-use ecas_bench::{Report, Table};
+use ecas_bench::{Cli, Report, Table};
 use ecas_core::sim::{PlayerConfig, Simulator};
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::types::ladder::BitrateLadder;
@@ -12,6 +12,9 @@ use ecas_core::types::units::Seconds;
 use ecas_core::{Approach, ExperimentRunner};
 
 fn main() {
+    let args = Cli::new("ablation_buffer", "sweep of the player buffer threshold B")
+        .formats()
+        .parse();
     let session = EvalTraceSpec::table_v()[2].generate();
     let mut report = Report::new(format!(
         "buffer-threshold sweep on {} (tau = 2 s)",
@@ -48,5 +51,5 @@ fn main() {
         .table("", table)
         .note("small buffers expose the fixed-bitrate baseline to fades; the online")
         .note("algorithm adapts and stays stall-free across the sweep.");
-    report.emit();
+    report.emit(args.format());
 }

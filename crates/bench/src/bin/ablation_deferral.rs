@@ -6,7 +6,7 @@
 //! policy with and without the signal-aware deferral wrapper over the
 //! vehicle-heavy Table V traces.
 
-use ecas_bench::{Report, Table};
+use ecas_bench::{Cli, Report, Table};
 use ecas_core::abr::{Festive, Online, SignalDeferral};
 use ecas_core::sim::controller::FixedLevel;
 use ecas_core::sim::{BitrateController, Simulator};
@@ -14,6 +14,9 @@ use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::types::ladder::BitrateLadder;
 
 fn main() {
+    let args = Cli::new("ablation_deferral", "signal-aware download deferral on top of each policy")
+        .formats()
+        .parse();
     let sessions: Vec<_> = [0usize, 2, 3, 4] // skip the quiet trace 2
         .iter()
         .map(|&i| EvalTraceSpec::table_v()[i].generate())
@@ -78,5 +81,5 @@ fn main() {
         .table("", table)
         .note("deferral trims the radio bill of every policy; combined with the")
         .note("context-aware selector the two savings compose.");
-    report.emit();
+    report.emit(args.format());
 }

@@ -5,7 +5,7 @@
 //! then compare with the next observed segment throughput. Reported as
 //! mean absolute error and mean signed error (bias), per context.
 
-use ecas_bench::{Report, Table};
+use ecas_bench::{Cli, Report, Table};
 use ecas_core::net::{BandwidthEstimator, Ewma, HarmonicMean, SlidingPercentile};
 use ecas_core::sim::Simulator;
 use ecas_core::trace::synth::context::{Context, ContextSchedule};
@@ -15,6 +15,9 @@ use ecas_core::types::units::Seconds;
 use ecas_core::Approach;
 
 fn main() {
+    let args = Cli::new("ablation_estimators", "bandwidth-estimator prediction error by context")
+        .formats()
+        .parse();
     let mut report = Report::new("estimator prediction error on next-segment throughput");
     let mut table = Table::new(vec!["context", "estimator", "MAE (Mbps)", "bias (Mbps)"]);
     for ctx in [Context::QuietRoom, Context::Walking, Context::MovingVehicle] {
@@ -61,5 +64,5 @@ fn main() {
         .table("", table)
         .note("the harmonic mean's negative bias is the point: it underestimates on")
         .note("purpose, trading prediction accuracy for rebuffering safety.");
-    report.emit();
+    report.emit(args.format());
 }

@@ -4,11 +4,14 @@
 //! energy. Sweeping it traces the Pareto front of the weighted-sum method
 //! (the paper's ref \[21\]); the paper's evaluation fixes η = 0.5.
 
-use ecas_bench::{Report, Table};
+use ecas_bench::{Cli, Report, Table};
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::{Approach, ExperimentRunner};
 
 fn main() {
+    let args = Cli::new("ablation_eta", "sweep of the Eq. (11) energy/QoE weighting factor eta")
+        .formats()
+        .parse();
     let session = EvalTraceSpec::table_v()[2].generate(); // vehicle-heavy trace 3
     let mut report = Report::new(format!(
         "eta sweep on {} ({}s, avg vibration {:.1} m/s^2)",
@@ -39,5 +42,5 @@ fn main() {
     report
         .table("", table)
         .note("energy should fall and QoE should fall as eta grows (Pareto front).");
-    report.emit();
+    report.emit(args.format());
 }

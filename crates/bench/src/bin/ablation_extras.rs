@@ -1,18 +1,26 @@
 //! Ablation: the related-work extensions (BOLA, MPC) against the paper's
 //! five approaches, over the full Table V set.
 
-use ecas_bench::{Report, Table};
+use ecas_bench::{Cli, Report, Table};
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::{Approach, ComparisonSummary, ExperimentRunner};
 
 fn main() {
+    let args = Cli::new(
+        "ablation_extras",
+        "all implemented approaches (incl. BOLA, MPC) over the Table V set",
+    )
+    .formats()
+    .grid()
+    .parse();
     let sessions: Vec<_> = EvalTraceSpec::table_v()
         .iter()
         .map(EvalTraceSpec::generate)
         .collect();
     let runner = ExperimentRunner::paper();
     let approaches = Approach::all();
-    let summary = ComparisonSummary::evaluate(&runner, &sessions, &approaches);
+    let summary =
+        ComparisonSummary::evaluate_with(&runner, &sessions, &approaches, &args.exec_policy());
 
     let mut report = Report::new("Extensions: all implemented approaches over the Table V traces");
     let mut table = Table::new(vec![
@@ -35,5 +43,5 @@ fn main() {
         .table("", table)
         .note("BOLA and MPC are context-blind like FESTIVE/BBA: without the vibration")
         .note("and signal models they cannot reach the energy savings of Ours/Optimal.");
-    report.emit();
+    report.emit(args.format());
 }

@@ -6,13 +6,16 @@
 //! twenty-subject design should stay accurate well past realistic noise
 //! levels (± ~1 nine-grade point).
 
-use ecas_bench::{Report, Table};
+use ecas_bench::{Cli, Report, Table};
 use ecas_core::qoe::impairment::VibrationImpairment;
 use ecas_core::qoe::quality::OriginalQuality;
 use ecas_core::qoe::study::{run_study_and_fit, StudyConfig, SubjectiveStudy};
 use ecas_core::types::units::{Mbps, MetersPerSec2};
 
 fn main() {
+    let args = Cli::new("ablation_study_noise", "rating-noise robustness of the Table III fitting pipeline")
+        .formats()
+        .parse();
     let mut report = Report::new("rating-noise sweep of the Table III pipeline (20 subjects)");
     let truth_q = OriginalQuality::paper();
     let truth_i = VibrationImpairment::paper();
@@ -59,5 +62,5 @@ fn main() {
     report
         .table("", table)
         .note("(the paper's P.910 protocol corresponds to roughly 0.5-1.0 of noise)");
-    report.emit();
+    report.emit(args.format());
 }

@@ -5,7 +5,7 @@
 //! a VBR size table (high-motion content, ±25 % swings) and checks that
 //! the paper's conclusions survive the added realism.
 
-use ecas_bench::{Report, Table};
+use ecas_bench::{Cli, Report, Table};
 use ecas_core::sim::Simulator;
 use ecas_core::trace::vbr::SegmentSizes;
 use ecas_core::trace::videos::{EvalTraceSpec, TestVideo};
@@ -14,6 +14,9 @@ use ecas_core::types::units::Seconds;
 use ecas_core::{Approach, ExperimentRunner};
 
 fn main() {
+    let args = Cli::new("ablation_vbr", "constant- vs variable-bitrate encodings on trace 3")
+        .formats()
+        .parse();
     let session = EvalTraceSpec::table_v()[2].generate();
     let ladder = BitrateLadder::evaluation();
     let segments = (session.meta().video_length.value() / 2.0).ceil() as usize;
@@ -56,5 +59,5 @@ fn main() {
         .table("", table)
         .note("the ordering and the context-aware savings persist under VBR; only")
         .note("the absolute energies shift by a few percent.");
-    report.emit();
+    report.emit(args.format());
 }

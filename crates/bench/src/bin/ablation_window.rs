@@ -5,13 +5,16 @@
 //! Short windows react faster but overreact to fades; long windows are
 //! stable but stale.
 
-use ecas_bench::{Report, Table};
+use ecas_bench::{Cli, Report, Table};
 use ecas_core::abr::{Festive, Online};
 use ecas_core::sim::Simulator;
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::types::ladder::BitrateLadder;
 
 fn main() {
+    let args = Cli::new("ablation_window", "sweep of the bandwidth-estimator window k")
+        .formats()
+        .parse();
     let session = EvalTraceSpec::table_v()[2].generate();
     let sim = Simulator::paper(BitrateLadder::evaluation());
     let mut report = Report::new(format!(
@@ -44,5 +47,5 @@ fn main() {
     report
         .table("", table)
         .note("short windows overreact to fades; long windows go stale (k = 20 in the paper).");
-    report.emit();
+    report.emit(args.format());
 }

@@ -5,6 +5,8 @@
 //! evaluate                      # run the built-in paper evaluation scenario
 //! evaluate scenario.json        # run a custom scenario
 //! evaluate --obs out/           # also write manifest, events, metrics
+//! evaluate --cache-dir cache/   # serve repeat cells from a result cache
+//! evaluate --jobs 1             # force sequential grid execution
 //! evaluate --print-template     # print a template scenario JSON to edit
 //! ```
 //!
@@ -13,39 +15,38 @@
 //! deterministic JSONL event stream per `(trace, approach)` pair;
 //! `<dir>/timelines/` the matching per-segment tables; `<dir>/metrics.txt`
 //! the aggregate counters, spans and histograms.
+//!
+//! With `--cache-dir <dir>`, every grid cell is content-addressed and
+//! served from the cache when its key matches; the cache hit/miss line is
+//! printed to stderr so pipelines can assert a warm run (`hits>0,
+//! misses=0`). A warm `--obs` rerun reproduces the event JSONL
+//! byte-identically without executing the simulator.
 
 use std::fs::File;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ecas_core::{observe, render_markdown, Scenario};
+use ecas_bench::Cli;
+use ecas_core::{observe, render_markdown, ExecPolicy, Scenario};
 
 fn main() -> ExitCode {
-    let mut obs_dir: Option<PathBuf> = None;
-    let mut positional: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--obs" => match args.next() {
-                Some(dir) => obs_dir = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("error: --obs requires an output directory");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--print-template" => {
-                let template = Scenario::paper_evaluation();
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&template).expect("template serializes")
-                );
-                return ExitCode::SUCCESS;
-            }
-            _ => positional.push(arg),
-        }
+    let args = Cli::new("evaluate", "run a scenario (JSON) and emit a Markdown report")
+        .obs()
+        .grid()
+        .switch("--print-template", "print a template scenario JSON and exit")
+        .optional_positional("scenario", "scenario JSON file (default: the paper evaluation)")
+        .parse();
+
+    if args.switch("--print-template") {
+        let template = Scenario::paper_evaluation();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&template).expect("template serializes")
+        );
+        return ExitCode::SUCCESS;
     }
 
-    let scenario = match positional.first() {
+    let scenario: Scenario = match args.positionals().first() {
         None => Scenario::paper_evaluation(),
         Some(path) => {
             let file = match File::open(path) {
@@ -65,25 +66,35 @@ fn main() -> ExitCode {
         }
     };
 
+    // Command-line flags refine the scenario's own execution policy:
+    // --cache-dir overrides its cache directory, --jobs its parallelism.
+    let cache_dir = args
+        .cache_dir()
+        .or_else(|| scenario.cache_dir.as_deref().map(PathBuf::from));
+    let policy = ExecPolicy::from_options(args.jobs(), cache_dir.as_deref());
+
     eprintln!(
         "running scenario {:?}: {} approaches, eta = {}",
         scenario.name,
         scenario.approaches.len(),
         scenario.eta
     );
-    let summary = match &obs_dir {
-        Some(dir) => match observe::run_observed(&scenario, dir) {
-            Ok(summary) => {
+    let (summary, stats) = match args.obs_dir() {
+        Some(dir) => match observe::run_observed_with(&scenario, &dir, &policy) {
+            Ok(out) => {
                 eprintln!("observability artifacts written to {}", dir.display());
-                summary
+                out
             }
             Err(e) => {
                 eprintln!("error: cannot write artifacts to {}: {e}", dir.display());
                 return ExitCode::FAILURE;
             }
         },
-        None => scenario.run(),
+        None => scenario.run_with(&policy),
     };
+    if policy.cache_dir().is_some() {
+        eprintln!("{}", stats.render());
+    }
     println!("{}", render_markdown(&scenario.name, &summary));
     ExitCode::SUCCESS
 }

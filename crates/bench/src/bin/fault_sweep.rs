@@ -6,16 +6,23 @@
 //! that fault injection is live (nonzero retries) and byte-identical
 //! across runs. `--json` / `--markdown` select the output format.
 
-use ecas_bench::{Report, Table};
-use ecas_core::robustness::fault_sweep;
+use ecas_bench::{Cli, Report, Table};
+use ecas_core::robustness::fault_sweep_with;
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::{Approach, ExperimentRunner};
 
 const SWEEP_SEED: u64 = 23;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let args = Cli::new(
+        "fault_sweep",
+        "degradation curves under deterministic fault injection",
+    )
+    .formats()
+    .smoke()
+    .grid()
+    .parse();
+    let smoke = args.smoke();
 
     let runner = ExperimentRunner::paper();
     let specs = EvalTraceSpec::table_v();
@@ -33,7 +40,14 @@ fn main() {
         )
     };
 
-    let cells = fault_sweep(&runner, &sessions, &approaches, &intensities, SWEEP_SEED);
+    let cells = fault_sweep_with(
+        &runner,
+        &sessions,
+        &approaches,
+        &intensities,
+        SWEEP_SEED,
+        &args.exec_policy(),
+    );
 
     let mut table = Table::new(vec![
         "intensity",
@@ -76,5 +90,5 @@ fn main() {
         sessions.len(),
         approaches.len(),
     ));
-    report.emit();
+    report.emit(args.format());
 }

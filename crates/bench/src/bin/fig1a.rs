@@ -6,11 +6,12 @@
 //! −115 dBm. This binary regenerates the curve from the calibrated radio
 //! power model and the bulk-throughput map.
 
-use ecas_bench::Table;
+use ecas_bench::{Cli, Table};
 use ecas_core::power::model::PowerModel;
 use ecas_core::types::units::{Dbm, MegaBytes};
 
 fn main() {
+    let _ = Cli::new("fig1a", "energy to download 100 MB vs signal strength (Fig. 1a)").parse();
     let model = PowerModel::paper();
     let data = MegaBytes::new(100.0);
 

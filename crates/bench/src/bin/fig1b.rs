@@ -6,7 +6,7 @@
 //! saving 65 % of the (bitrate-dependent) energy in the weak-signal
 //! vehicle environment.
 
-use ecas_bench::Table;
+use ecas_bench::{Cli, Table};
 use ecas_core::power::model::PowerModel;
 use ecas_core::power::task::{TaskConditions, TaskEnergyModel};
 use ecas_core::qoe::model::QoeModel;
@@ -14,6 +14,7 @@ use ecas_core::types::ladder::BitrateLadder;
 use ecas_core::types::units::{Dbm, Mbps, MetersPerSec2, Seconds};
 
 fn main() {
+    let _ = Cli::new("fig1b", "QoE and energy vs bitrate by context (Fig. 1b)").parse();
     let qoe = QoeModel::paper();
     let energy = TaskEnergyModel::new(PowerModel::paper(), Seconds::new(2.0));
     let ladder = BitrateLadder::table_ii();

@@ -1,11 +1,12 @@
 //! Table I / Table II / Fig. 2(a): the test videos, their SI/TI
 //! coordinates, and the resolution/bitrate ladder of the quality study.
 
-use ecas_bench::Table;
+use ecas_bench::{Cli, Table};
 use ecas_core::trace::videos::TestVideo;
 use ecas_core::types::ladder::BitrateLadder;
 
 fn main() {
+    let _ = Cli::new("fig2a", "test videos and the study bitrate ladder (Tables I-II, Fig. 2a)").parse();
     println!("Table I + Fig. 2(a): test videos with spatial/temporal information\n");
     let mut table = Table::new(vec!["genre", "explanation", "SI", "TI"]);
     for v in TestVideo::table_i() {

@@ -2,12 +2,13 @@
 //! (vibration level, bitrate), from the synthetic panel with the fitted
 //! power-law surface.
 
-use ecas_bench::Table;
+use ecas_bench::{Cli, Table};
 use ecas_core::qoe::impairment::VibrationImpairment;
 use ecas_core::qoe::study::{run_study_and_fit, SubjectiveStudy};
 use ecas_core::types::units::{Mbps, MetersPerSec2};
 
 fn main() {
+    let _ = Cli::new("fig2c", "fitted vibration-impairment surface (Fig. 2c)").parse();
     let study = SubjectiveStudy::paper(42);
     let (params, _, impairment_fit) = run_study_and_fit(&study).expect("paper design fits");
     let surface = VibrationImpairment::new(params.impairment);

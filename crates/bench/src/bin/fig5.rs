@@ -5,18 +5,22 @@
 //! * (b) whole-phone and extra-energy savings vs Youtube;
 //! * (c) base vs extra energy for trace 1.
 
-use ecas_bench::Table;
+use ecas_bench::{Cli, Table};
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::{Approach, ComparisonSummary, ExperimentRunner};
 
 fn main() {
+    let args = Cli::new("fig5", "energy comparison over the Table V traces (Fig. 5)")
+        .grid()
+        .parse();
     let sessions: Vec<_> = EvalTraceSpec::table_v()
         .iter()
         .map(EvalTraceSpec::generate)
         .collect();
     let runner = ExperimentRunner::paper();
     let approaches = Approach::paper_set();
-    let summary = ComparisonSummary::evaluate(&runner, &sessions, &approaches);
+    let summary =
+        ComparisonSummary::evaluate_with(&runner, &sessions, &approaches, &args.exec_policy());
 
     println!("Fig. 5(a): total energy (J) per trace\n");
     let mut header = vec!["trace".to_string()];

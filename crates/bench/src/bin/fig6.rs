@@ -4,18 +4,22 @@
 //! * (b) average QoE per approach;
 //! * (c) QoE degradation vs Youtube.
 
-use ecas_bench::Table;
+use ecas_bench::{Cli, Table};
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::{Approach, ComparisonSummary, ExperimentRunner};
 
 fn main() {
+    let args = Cli::new("fig6", "QoE comparison over the Table V traces (Fig. 6)")
+        .grid()
+        .parse();
     let sessions: Vec<_> = EvalTraceSpec::table_v()
         .iter()
         .map(EvalTraceSpec::generate)
         .collect();
     let runner = ExperimentRunner::paper();
     let approaches = Approach::paper_set();
-    let summary = ComparisonSummary::evaluate(&runner, &sessions, &approaches);
+    let summary =
+        ComparisonSummary::evaluate_with(&runner, &sessions, &approaches, &args.exec_policy());
 
     println!("Fig. 6(a): mean QoE per trace\n");
     let mut header = vec!["trace".to_string()];

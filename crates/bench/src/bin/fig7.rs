@@ -6,11 +6,14 @@
 //! near zero, this binary prints the per-trace components alongside the
 //! ratio (see EXPERIMENTS.md for the divergence discussion).
 
-use ecas_bench::Table;
+use ecas_bench::{Cli, Table};
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::{Approach, ComparisonSummary, ExperimentRunner};
 
 fn main() {
+    let args = Cli::new("fig7", "energy-saving over QoE-degradation ratio (Fig. 7)")
+        .grid()
+        .parse();
     let sessions: Vec<_> = EvalTraceSpec::table_v()
         .iter()
         .map(EvalTraceSpec::generate)
@@ -23,7 +26,8 @@ fn main() {
         Approach::Ours,
         Approach::Optimal,
     ];
-    let summary = ComparisonSummary::evaluate(&runner, &sessions, &approaches);
+    let summary =
+        ComparisonSummary::evaluate_with(&runner, &sessions, &approaches, &args.exec_policy());
 
     println!("Fig. 7: energy saving / QoE degradation (with components)\n");
     let mut table = Table::new(vec![

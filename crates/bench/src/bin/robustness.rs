@@ -1,16 +1,20 @@
 //! Seed-robustness of the headline results: re-draw the Table V traces
 //! under many seeds and report mean ± std of the Fig. 5/6 metrics.
 
-use ecas_bench::Table;
-use ecas_core::robustness::table_v_robustness;
+use ecas_bench::{Cli, Table};
+use ecas_core::robustness::table_v_robustness_with;
 use ecas_core::{Approach, ExperimentRunner};
 
 fn main() {
+    let args = Cli::new("robustness", "seed-robustness of the Fig. 5/6 headline metrics")
+        .grid()
+        .parse();
     let runner = ExperimentRunner::paper();
     let seeds: Vec<u64> = (0..10).collect();
     println!("Table V evaluation across {} trace re-draws\n", seeds.len());
 
-    let rows = table_v_robustness(&runner, &Approach::paper_set(), &seeds);
+    let rows =
+        table_v_robustness_with(&runner, &Approach::paper_set(), &seeds, &args.exec_policy());
     let mut table = Table::new(vec![
         "approach",
         "whole-phone saving",

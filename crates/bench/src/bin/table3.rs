@@ -2,11 +2,12 @@
 //! running the synthetic subject panel and fitting both model components
 //! with least squares.
 
-use ecas_bench::Table;
+use ecas_bench::{Cli, Table};
 use ecas_core::qoe::params::QoeParams;
 use ecas_core::qoe::study::table_iii;
 
 fn main() {
+    let _ = Cli::new("table3", "fitted QoE model parameters vs ground truth (Table III)").parse();
     let (fitted, quality_fit, impairment_fit) = table_iii(42).expect("paper design fits");
     let truth = QoeParams::paper();
 

@@ -1,10 +1,11 @@
 //! Table V: the five evaluation traces — specification vs the properties
 //! of the regenerated synthetic sessions.
 
-use ecas_bench::Table;
+use ecas_bench::{Cli, Table};
 use ecas_core::trace::videos::EvalTraceSpec;
 
 fn main() {
+    let _ = Cli::new("table5", "evaluation trace specs vs regenerated sessions (Table V)").parse();
     println!("Table V: video traces (spec columns from the paper; measured columns");
     println!("from the regenerated synthetic sessions)\n");
     let mut table = Table::new(vec![

@@ -3,13 +3,14 @@
 //! bitrate, at −90 dBm. The paper reports error ratios consistently below
 //! 3 % with a 1.43 % average.
 
-use ecas_bench::Table;
+use ecas_bench::{Cli, Table};
 use ecas_core::power::model::PowerModel;
 use ecas_core::power::validation::{mean_error_ratio, validate, ValidationConfig};
 use ecas_core::types::ladder::BitrateLadder;
 use ecas_core::types::units::Mbps;
 
 fn main() {
+    let _ = Cli::new("table6", "power-model validation against the synthetic monitor (Table VI)").parse();
     let model = PowerModel::paper();
     let cfg = ValidationConfig::paper(42);
     let mut bitrates: Vec<Mbps> = BitrateLadder::table_ii()

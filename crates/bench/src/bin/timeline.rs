@@ -9,6 +9,7 @@
 
 use std::process::ExitCode;
 
+use ecas_bench::Cli;
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::{Approach, ExperimentRunner};
 
@@ -29,20 +30,25 @@ fn parse_approach(name: &str) -> Option<Approach> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (trace_id, approach, max_lines) = match args.as_slice() {
-        [id, approach] => (id, approach, 60usize),
-        [id, approach, max] => match max.parse() {
-            Ok(n) => (id, approach, n),
+    let args = Cli::new("timeline", "print the event timeline of one simulated session")
+        .positional("trace-id", "Table V trace id (1..5)")
+        .positional(
+            "approach",
+            "youtube|festive|bba|ours|optimal|bola|mpc|pid|rate|adaptive",
+        )
+        .optional_positional("max-lines", "maximum timeline lines to print (default 60)")
+        .parse();
+    let positionals = args.positionals();
+    let (trace_id, approach) = (&positionals[0], &positionals[1]);
+    let max_lines: usize = match positionals.get(2) {
+        None => 60,
+        Some(max) => match max.parse() {
+            Ok(n) => n,
             Err(_) => {
                 eprintln!("error: bad max-lines {max:?}");
                 return ExitCode::FAILURE;
             }
         },
-        _ => {
-            eprintln!("usage: timeline <trace-id 1..5> <approach> [max-lines]");
-            return ExitCode::from(2);
-        }
     };
     let Ok(id) = trace_id.parse::<u8>() else {
         eprintln!("error: bad trace id {trace_id:?}");

@@ -15,6 +15,7 @@ use std::fs::File;
 use std::io::Read;
 use std::process::ExitCode;
 
+use ecas_bench::Cli;
 use ecas_core::trace::analysis::SessionStats;
 use ecas_core::trace::io::{decode_binary, encode_binary, read_json, read_mahimahi, write_json};
 use ecas_core::trace::session::SessionTrace;
@@ -36,7 +37,10 @@ fn usage() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = Cli::new("tracetool", "generate, inspect and convert session traces")
+        .trailing("subcommand", "generate | tablev | inspect | mahimahi | mpd, plus its arguments")
+        .parse();
+    let args = parsed.trailing();
     let result = match args.first().map(String::as_str) {
         Some("generate") if args.len() == 5 => generate(&args[1], &args[2], &args[3], &args[4]),
         Some("tablev") if args.len() == 3 => tablev(&args[1], &args[2]),

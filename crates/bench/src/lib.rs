@@ -1,7 +1,9 @@
 //! Shared helpers for the table/figure regeneration binaries.
 
+pub mod cli;
 pub mod render;
 pub mod report;
 
+pub use cli::{Args, Cli};
 pub use render::Table;
 pub use report::{Format, Report};

@@ -161,11 +161,10 @@ impl Report {
         ])
     }
 
-    /// Renders in the format selected by the process arguments and prints
-    /// to stdout.
-    pub fn emit(&self) {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        print!("{}", self.render(Format::from_args(&args)));
+    /// Renders in the given format and prints to stdout. Binaries get
+    /// the format from [`crate::cli::Args::format`].
+    pub fn emit(&self, format: Format) {
+        print!("{}", self.render(format));
     }
 }
 

@@ -1,0 +1,72 @@
+//! Golden tests for the shared bench CLI: generated `--help` text and
+//! flag parsing through the same declarations the binaries use.
+
+use ecas_bench::cli::{Cli, CliError};
+use ecas_bench::Format;
+
+/// The surface of the `evaluate` binary, redeclared here so the golden
+/// help stays covered even if the binary drifts.
+fn evaluate_cli() -> Cli {
+    Cli::new("evaluate", "run a scenario (JSON) and emit a Markdown report")
+        .obs()
+        .grid()
+        .switch("--print-template", "print a template scenario JSON and exit")
+        .optional_positional("scenario", "scenario JSON file (default: the paper evaluation)")
+}
+
+#[test]
+fn evaluate_help_is_stable() {
+    let expected = "\
+evaluate — run a scenario (JSON) and emit a Markdown report
+
+usage: evaluate [options] [scenario]
+
+arguments:
+  [scenario]   scenario JSON file (default: the paper evaluation)
+
+options:
+  --print-template    print a template scenario JSON and exit
+  --obs <dir>         write manifest, event JSONL and metrics into <dir>
+  --jobs <n>          worker threads for grid execution (default: auto)
+  --cache-dir <dir>   serve grid cells from a result cache in <dir>
+  -h, --help          show this help and exit
+";
+    assert_eq!(evaluate_cli().help(), expected);
+}
+
+#[test]
+fn evaluate_flags_parse() {
+    let args = evaluate_cli()
+        .parse_from(&["--obs", "out", "--jobs", "2", "--cache-dir", "c", "s.json"])
+        .unwrap();
+    assert_eq!(args.obs_dir().unwrap().to_str(), Some("out"));
+    assert_eq!(args.jobs(), Some(2));
+    assert_eq!(args.cache_dir().unwrap().to_str(), Some("c"));
+    assert_eq!(args.positionals(), ["s.json"]);
+    assert!(!args.switch("--print-template"));
+}
+
+#[test]
+fn format_precedence_matches_the_old_ad_hoc_loops() {
+    let cli = Cli::new("fault_sweep", "sweep").formats().smoke();
+    let json = cli.parse_from(&["--json", "--markdown", "--smoke"]).unwrap();
+    assert_eq!(json.format(), Format::Json);
+    assert!(json.smoke());
+    let md = cli.parse_from(&["--markdown"]).unwrap();
+    assert_eq!(md.format(), Format::Markdown);
+    let text = cli.parse_from::<&str>(&[]).unwrap();
+    assert_eq!(text.format(), Format::Text);
+}
+
+#[test]
+fn unknown_flags_are_rejected_not_ignored() {
+    let cli = Cli::new("fig5", "fig").grid();
+    assert_eq!(
+        cli.parse_from(&["--smoke"]),
+        Err(CliError::UnknownFlag("--smoke".to_string()))
+    );
+    assert_eq!(
+        cli.parse_from(&["stray"]),
+        Err(CliError::UnexpectedArgument("stray".to_string()))
+    );
+}

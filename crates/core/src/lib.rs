@@ -46,14 +46,16 @@ pub mod observe;
 pub mod report;
 pub mod robustness;
 pub mod runner;
+pub mod sweep;
 pub mod viewer;
 
 pub use approach::Approach;
 pub use metrics::{ComparisonSummary, TraceComparison};
-pub use observe::run_observed;
-pub use report::{render_markdown, Scenario, TraceSelection};
+pub use observe::{run_observed, run_observed_with};
+pub use report::{render_markdown, Scenario, ScenarioBuilder, TraceSelection};
 pub use robustness::{fault_sweep, table_v_robustness, FaultSweepCell, RobustnessRow, SeedStat};
 pub use runner::ExperimentRunner;
+pub use sweep::{CacheStats, ExecPolicy, SweepEngine};
 pub use viewer::{expected_waste, quit_analysis, QuitAnalysis};
 
 pub use ecas_abr as abr;

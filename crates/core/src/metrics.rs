@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::approach::Approach;
 use crate::runner::ExperimentRunner;
+use crate::sweep::{ExecPolicy, SweepEngine};
 use ecas_trace::session::SessionTrace;
 
 /// Per-approach metrics on one trace.
@@ -140,23 +141,29 @@ pub struct ComparisonSummary {
 }
 
 impl ComparisonSummary {
-    /// Runs the full evaluation grid for `approaches` over `sessions`.
+    /// Runs the full evaluation grid for `approaches` over `sessions` on
+    /// an auto-sized worker pool. Sugar for [`Self::evaluate_with`] under
+    /// [`ExecPolicy::parallel`].
     #[must_use]
     pub fn evaluate(
         runner: &ExperimentRunner,
         sessions: &[SessionTrace],
         approaches: &[Approach],
     ) -> Self {
-        let results = runner.run_grid_parallel(sessions, approaches);
-        let traces = sessions
-            .iter()
-            .zip(results.chunks(approaches.len().max(1)))
-            .map(|(session, rows)| {
-                let base = runner.base_energy(session);
-                TraceComparison::from_results(session.meta().name.clone(), base, approaches, rows)
-            })
-            .collect();
-        Self { traces }
+        Self::evaluate_with(runner, sessions, approaches, &ExecPolicy::parallel())
+    }
+
+    /// Runs the full evaluation grid under an explicit [`ExecPolicy`].
+    /// The per-session base-energy runs go through the same pool and
+    /// cache as the approach cells (see [`SweepEngine::comparison`]).
+    #[must_use]
+    pub fn evaluate_with(
+        runner: &ExperimentRunner,
+        sessions: &[SessionTrace],
+        approaches: &[Approach],
+        policy: &ExecPolicy,
+    ) -> Self {
+        SweepEngine::new(runner.clone()).comparison(sessions, approaches, policy)
     }
 
     /// Mean whole-phone energy saving of `approach` across traces.

@@ -22,13 +22,14 @@ use std::path::Path;
 use std::sync::Arc;
 
 use ecas_obs::render::{metrics_summary, segment_timeline};
-use ecas_obs::{stable_hash, JsonlRecorder, MetricsRegistry, RunManifest, TraceRef};
+use ecas_obs::{stable_hash, MetricsRegistry, RunManifest, TraceRef};
 use ecas_trace::videos::EvalTraceSpec;
 use ecas_types::ladder::LevelIndex;
 
 use crate::metrics::{ComparisonSummary, TraceComparison};
 use crate::report::{Scenario, TraceSelection};
 use crate::runner::ExperimentRunner;
+use crate::sweep::{CacheStats, ExecPolicy, SweepEngine};
 
 /// Builds the [`RunManifest`] describing a scenario run under `runner`.
 #[must_use]
@@ -108,7 +109,35 @@ fn pair_stem(trace: &str, approach_label: &str) -> String {
 ///
 /// Panics on the same invalid inputs as [`Scenario::run`].
 pub fn run_observed(scenario: &Scenario, dir: &Path) -> io::Result<ComparisonSummary> {
-    let runner = ExperimentRunner::paper_with_eta(scenario.eta);
+    run_observed_with(scenario, dir, &scenario.policy()).map(|(summary, _)| summary)
+}
+
+/// [`run_observed`] under an explicit [`ExecPolicy`]: when the policy
+/// caches, every `(trace, approach)` pair — including its event JSONL —
+/// and every base-energy run is served from the cache on a warm rerun,
+/// producing byte-identical event files without executing the simulator.
+///
+/// Only the policy's cache layer affects the observed pairs (each pair
+/// streams into its own recorder, which is inherently sequential); the
+/// wrapped policy still drives base-energy computation.
+///
+/// Returns the summary together with the run's [`CacheStats`]. On a warm
+/// run the `sim/*` metrics stay at zero — the `sweep/cache_*` counters in
+/// `metrics.txt` tell the story instead (see [`ecas_obs::counters`]).
+///
+/// # Errors
+///
+/// Returns the I/O error if any artifact cannot be written.
+///
+/// # Panics
+///
+/// Panics on the same invalid inputs as [`Scenario::run`].
+pub fn run_observed_with(
+    scenario: &Scenario,
+    dir: &Path,
+    policy: &ExecPolicy,
+) -> io::Result<(ComparisonSummary, CacheStats)> {
+    let runner = scenario.runner();
     let events_dir = dir.join("events");
     let timelines_dir = dir.join("timelines");
     fs::create_dir_all(&events_dir)?;
@@ -121,6 +150,13 @@ pub fn run_observed(scenario: &Scenario, dir: &Path) -> io::Result<ComparisonSum
     )?;
 
     let registry = Arc::new(MetricsRegistry::new());
+    let engine = SweepEngine::new(runner).with_registry(Arc::clone(&registry));
+    let cache_dir = policy.cache_dir();
+    let base_policy = match cache_dir {
+        Some(cache) => ExecPolicy::cached(cache, ExecPolicy::Sequential),
+        None => ExecPolicy::Sequential,
+    };
+
     let sessions = scenario.traces.sessions();
     let mut traces = Vec::with_capacity(sessions.len());
     for session in &sessions {
@@ -128,12 +164,13 @@ pub fn run_observed(scenario: &Scenario, dir: &Path) -> io::Result<ComparisonSum
         let mut results = Vec::with_capacity(scenario.approaches.len());
         for approach in &scenario.approaches {
             let stem = pair_stem(&name, approach.label());
-            let recorder = JsonlRecorder::create_with_registry(
+            let (result, log) = engine.run_observed_pair(
+                session,
+                approach,
+                cache_dir,
                 &events_dir.join(format!("{stem}.jsonl")),
-                Arc::clone(&registry),
+                &registry,
             )?;
-            let (result, log) = runner.run_with_probe(session, approach, &recorder);
-            recorder.flush()?;
             let values: Vec<_> = log
                 .iter()
                 // ecas-lint: allow(panic-safety, reason = "session events are plain enums; serialization cannot fail")
@@ -147,14 +184,14 @@ pub fn run_observed(scenario: &Scenario, dir: &Path) -> io::Result<ComparisonSum
         }
         traces.push(TraceComparison::from_results(
             name,
-            runner.base_energy(session),
+            engine.base_energy(session, &base_policy),
             &scenario.approaches,
             &results,
         ));
     }
 
     fs::write(dir.join("metrics.txt"), metrics_summary(&registry.snapshot()))?;
-    Ok(ComparisonSummary { traces })
+    Ok((ComparisonSummary { traces }, engine.stats()))
 }
 
 #[cfg(test)]
@@ -164,17 +201,15 @@ mod tests {
     use ecas_trace::synth::context::Context;
 
     fn tiny_scenario() -> Scenario {
-        Scenario {
-            name: "observe-test".to_string(),
-            traces: TraceSelection::Synthetic {
+        Scenario::builder("observe-test")
+            .traces(TraceSelection::Synthetic {
                 context: Context::Walking,
                 seconds: 30.0,
                 count: 1,
                 base_seed: 11,
-            },
-            approaches: vec![Approach::Youtube, Approach::Ours],
-            eta: 0.5,
-        }
+            })
+            .approaches(vec![Approach::Youtube, Approach::Ours])
+            .build()
     }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -225,5 +260,43 @@ mod tests {
             assert_eq!(timeline.lines().count(), 17, "{timeline}");
         }
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observed_warm_cache_run_is_byte_identical() {
+        let scenario = tiny_scenario();
+        let cache = temp_dir("obs-cache");
+        let cold_dir = temp_dir("obs-cold");
+        let warm_dir = temp_dir("obs-warm");
+        let policy = ExecPolicy::cached(&cache, ExecPolicy::Sequential);
+
+        let (cold, cold_stats) = run_observed_with(&scenario, &cold_dir, &policy).unwrap();
+        // Two observed pairs + one base-energy cell, all misses.
+        assert_eq!(cold_stats.misses, 3);
+        assert_eq!(cold_stats.hits, 0);
+
+        let (warm, warm_stats) = run_observed_with(&scenario, &warm_dir, &policy).unwrap();
+        assert_eq!(warm, cold);
+        assert!(warm_stats.all_hits(), "{warm_stats:?}");
+        assert_eq!(warm_stats.hits, 3);
+
+        for approach in ["youtube", "ours"] {
+            let stem = format!("walking-0__{approach}");
+            for sub in ["events", "timelines"] {
+                let ext = if sub == "events" { "jsonl" } else { "txt" };
+                let name = format!("{stem}.{ext}");
+                let a = fs::read(cold_dir.join(sub).join(&name)).unwrap();
+                let b = fs::read(warm_dir.join(sub).join(&name)).unwrap();
+                assert_eq!(a, b, "{sub}/{name} differs between cold and warm runs");
+            }
+        }
+        // The warm run never executed the simulator; the cache counters
+        // carry the story instead.
+        let metrics = fs::read_to_string(warm_dir.join("metrics.txt")).unwrap();
+        assert!(metrics.contains("sweep/cache_hit"), "{metrics}");
+
+        for d in [&cache, &cold_dir, &warm_dir] {
+            fs::remove_dir_all(d).ok();
+        }
     }
 }

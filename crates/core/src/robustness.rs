@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use crate::approach::Approach;
 use crate::metrics::ComparisonSummary;
 use crate::runner::ExperimentRunner;
+use crate::sweep::{ExecPolicy, SweepEngine};
 
 /// Mean and standard deviation of one metric across seeds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -86,6 +87,22 @@ pub fn table_v_robustness(
     approaches: &[Approach],
     seeds: &[u64],
 ) -> Vec<RobustnessRow> {
+    table_v_robustness_with(runner, approaches, seeds, &ExecPolicy::parallel())
+}
+
+/// [`table_v_robustness`] under an explicit [`ExecPolicy`]; with a cached
+/// policy every seed re-draw is memoized across invocations.
+///
+/// # Panics
+///
+/// Panics on the same invalid inputs as [`table_v_robustness`].
+#[must_use]
+pub fn table_v_robustness_with(
+    runner: &ExperimentRunner,
+    approaches: &[Approach],
+    seeds: &[u64],
+    policy: &ExecPolicy,
+) -> Vec<RobustnessRow> {
     assert!(!seeds.is_empty(), "at least one seed required");
     let mut per_seed: Vec<ComparisonSummary> = Vec::with_capacity(seeds.len());
     for &offset in seeds {
@@ -97,7 +114,9 @@ pub fn table_v_robustness(
                 spec.generate()
             })
             .collect();
-        per_seed.push(ComparisonSummary::evaluate(runner, &sessions, approaches));
+        per_seed.push(ComparisonSummary::evaluate_with(
+            runner, &sessions, approaches, policy,
+        ));
     }
 
     approaches
@@ -186,6 +205,32 @@ pub fn fault_sweep(
     intensities: &[f64],
     seed: u64,
 ) -> Vec<FaultSweepCell> {
+    fault_sweep_with(
+        runner,
+        sessions,
+        approaches,
+        intensities,
+        seed,
+        &ExecPolicy::parallel(),
+    )
+}
+
+/// [`fault_sweep`] under an explicit [`ExecPolicy`]. Each intensity runs
+/// its grid through one [`SweepEngine`]; the fault spec participates in
+/// the cache key, so cached sweeps stay correct across intensities.
+///
+/// # Panics
+///
+/// Panics on the same invalid inputs as [`fault_sweep`].
+#[must_use]
+pub fn fault_sweep_with(
+    runner: &ExperimentRunner,
+    sessions: &[SessionTrace],
+    approaches: &[Approach],
+    intensities: &[f64],
+    seed: u64,
+    policy: &ExecPolicy,
+) -> Vec<FaultSweepCell> {
     assert!(!sessions.is_empty(), "at least one session required");
     assert!(!approaches.is_empty(), "at least one approach required");
     assert!(!intensities.is_empty(), "at least one intensity required");
@@ -208,10 +253,15 @@ pub fn fault_sweep(
             runner.simulator().clone().with_faults(spec),
             runner.eta(),
         );
+        let grid = SweepEngine::new(faulty).run_grid(sessions, approaches, policy);
         for (ai, &approach) in approaches.iter().enumerate() {
-            let results: Vec<_> = sessions
+            // The grid is sessions-major: approach `ai` occupies every
+            // `approaches.len()`-th result starting at offset `ai`.
+            let results: Vec<_> = grid
                 .iter()
-                .map(|s| faulty.run(s, &approach))
+                .skip(ai)
+                .step_by(approaches.len())
+                .cloned()
                 .collect();
             let n = results.len() as f64;
             let mean_qoe = results.iter().map(|r| r.mean_qoe.value()).sum::<f64>() / n;

@@ -9,16 +9,16 @@ use ecas_sim::Simulator;
 use ecas_trace::session::SessionTrace;
 use ecas_types::ladder::{BitrateLadder, LevelIndex};
 use ecas_types::units::Joules;
-use parking_lot::Mutex;
 
 use crate::approach::Approach;
+use crate::sweep::{ExecPolicy, SweepEngine};
 
 /// Runs approaches over sessions with a shared simulator configuration.
 ///
 /// # Examples
 ///
 /// ```
-/// use ecas_core::{Approach, ExperimentRunner};
+/// use ecas_core::{Approach, ExecPolicy, ExperimentRunner};
 /// use ecas_core::trace::videos::EvalTraceSpec;
 ///
 /// let sessions: Vec<_> = EvalTraceSpec::table_v()[..2]
@@ -26,7 +26,7 @@ use crate::approach::Approach;
 ///     .map(|s| s.generate())
 ///     .collect();
 /// let runner = ExperimentRunner::paper();
-/// let grid = runner.run_grid(&sessions, &Approach::paper_set());
+/// let grid = runner.run_grid(&sessions, &Approach::paper_set(), &ExecPolicy::parallel());
 /// assert_eq!(grid.len(), 2 * 5);
 /// ```
 #[derive(Debug, Clone)]
@@ -94,91 +94,41 @@ impl ExperimentRunner {
             .run_logged_with_probe(session, &mut instrumented, probe)
     }
 
-    /// Runs every `(session, approach)` pair sequentially, returning
-    /// results in `sessions`-major order.
+    /// Runs every `(session, approach)` pair under `policy`, returning
+    /// results in `sessions`-major order regardless of the policy — the
+    /// single grid API (sequential, pooled and cached execution all live
+    /// in [`SweepEngine`]; this is sugar for the common case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics under
+    /// [`ExecPolicy::Parallel`].
     #[must_use]
     pub fn run_grid(
         &self,
         sessions: &[SessionTrace],
         approaches: &[Approach],
+        policy: &ExecPolicy,
     ) -> Vec<SessionResult> {
-        sessions
-            .iter()
-            .flat_map(|s| approaches.iter().map(move |a| self.run(s, a)))
-            .collect()
+        SweepEngine::new(self.clone()).run_grid(sessions, approaches, policy)
     }
 
-    /// Runs every `(session, approach)` pair across worker threads,
-    /// returning results in the same order as [`Self::run_grid`].
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use ecas_core::{Approach, ExperimentRunner};
-    /// use ecas_core::trace::videos::EvalTraceSpec;
-    ///
-    /// let sessions = vec![EvalTraceSpec::table_v()[0].generate()];
-    /// let runner = ExperimentRunner::paper();
-    /// let approaches = [Approach::Youtube, Approach::Ours];
-    /// let parallel = runner.run_grid_parallel(&sessions, &approaches);
-    /// assert_eq!(parallel, runner.run_grid(&sessions, &approaches));
-    /// ```
+    /// Runs every `(session, approach)` pair across worker threads.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panics.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use run_grid(sessions, approaches, &ExecPolicy::parallel())"
+    )]
     #[must_use]
     pub fn run_grid_parallel(
         &self,
         sessions: &[SessionTrace],
         approaches: &[Approach],
     ) -> Vec<SessionResult> {
-        let jobs: Vec<(usize, &SessionTrace, &Approach)> = sessions
-            .iter()
-            .enumerate()
-            .flat_map(|(si, s)| {
-                approaches
-                    .iter()
-                    .enumerate()
-                    .map(move |(ai, a)| (si * approaches.len() + ai, s, a))
-            })
-            .collect();
-        let results: Mutex<Vec<Option<SessionResult>>> = Mutex::new(vec![None; jobs.len()]);
-        let next: Mutex<usize> = Mutex::new(0);
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
-            .min(jobs.len().max(1));
-        crossbeam::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let idx = {
-                        let mut guard = next.lock();
-                        let idx = *guard;
-                        if idx >= jobs.len() {
-                            return;
-                        }
-                        *guard += 1;
-                        idx
-                    };
-                    let Some(&(slot, session, approach)) = jobs.get(idx) else {
-                        return;
-                    };
-                    let result = self.run(session, approach);
-                    if let Some(cell) = results.lock().get_mut(slot) {
-                        *cell = Some(result);
-                    }
-                });
-            }
-        })
-        // ecas-lint: allow(panic-safety, reason = "a worker panic must propagate to the caller, not be swallowed into a partial grid")
-        .expect("experiment worker panicked");
-        results
-            .into_inner()
-            .into_iter()
-            // ecas-lint: allow(panic-safety, reason = "the job queue assigns every slot index exactly once; an empty slot is a scheduler bug worth crashing on")
-            .map(|r| r.expect("every job filled its slot"))
-            .collect()
+        self.run_grid(sessions, approaches, &ExecPolicy::parallel())
     }
 
     /// The session's *base energy* (Fig. 5c): the energy of streaming
@@ -224,7 +174,7 @@ mod tests {
         let runner = ExperimentRunner::paper();
         let sessions = vec![short_session()];
         let approaches = [Approach::Youtube, Approach::Bba];
-        let grid = runner.run_grid(&sessions, &approaches);
+        let grid = runner.run_grid(&sessions, &approaches, &ExecPolicy::Sequential);
         assert_eq!(grid.len(), 2);
         assert_eq!(grid[0].controller, "youtube");
         assert_eq!(grid[1].controller, "bba");
@@ -235,9 +185,22 @@ mod tests {
         let runner = ExperimentRunner::paper();
         let sessions = vec![short_session(), EvalTraceSpec::table_v()[0].generate()];
         let approaches = [Approach::Youtube, Approach::Ours, Approach::Optimal];
-        let seq = runner.run_grid(&sessions, &approaches);
-        let par = runner.run_grid_parallel(&sessions, &approaches);
+        let seq = runner.run_grid(&sessions, &approaches, &ExecPolicy::Sequential);
+        let par = runner.run_grid(&sessions, &approaches, &ExecPolicy::parallel());
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parallel_shim_still_works() {
+        let runner = ExperimentRunner::paper();
+        let sessions = vec![short_session()];
+        let approaches = [Approach::Youtube, Approach::Ours];
+        let shim = runner.run_grid_parallel(&sessions, &approaches);
+        assert_eq!(
+            shim,
+            runner.run_grid(&sessions, &approaches, &ExecPolicy::Sequential)
+        );
     }
 
     #[test]

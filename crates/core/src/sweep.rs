@@ -1,0 +1,894 @@
+//! One execution engine for every experiment grid.
+//!
+//! [`SweepEngine`] runs `(session, approach)` cells — plus the per-session
+//! base-energy cell the comparison metrics need — under an [`ExecPolicy`]:
+//!
+//! * [`ExecPolicy::Sequential`] — one cell after another, on the caller's
+//!   thread;
+//! * [`ExecPolicy::Parallel`] — a work-stealing worker pool (`jobs = 0`
+//!   means one worker per available core) with deterministic,
+//!   sessions-major output ordering regardless of completion order;
+//! * [`ExecPolicy::Cached`] — serve each cell from an on-disk JSONL cache
+//!   keyed by a stable FNV-1a content hash of everything that determines
+//!   the result (simulator config, ladder, η, fault spec, the full session
+//!   trace, the controller), falling back to the wrapped policy for
+//!   misses. Cache entries are versioned and *never trusted*: any parse or
+//!   validation failure counts as [`CacheStats::corrupt`] and the cell is
+//!   recomputed and rewritten.
+//!
+//! The cache key covers the complete cell input, so invalidation is
+//! automatic: change the seed, the player config, η or the fault spec and
+//! the key changes with it. Stale entries are simply never looked up
+//! again; a `--cache-dir` can therefore be shared across scenarios.
+//!
+//! Cache activity is reported through [`CacheStats`] and, when a registry
+//! is attached via [`SweepEngine::with_registry`], the
+//! [`ecas_obs::counters`] `sweep/cache_*` counters.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use ecas_obs::{counters, stable_hash, JsonlRecorder, MetricsRegistry};
+use ecas_sim::controller::FixedLevel;
+use ecas_sim::events::EventLog;
+use ecas_sim::result::SessionResult;
+use ecas_sim::FaultSpec;
+use ecas_trace::session::SessionTrace;
+use ecas_types::ladder::LevelIndex;
+use ecas_types::units::Joules;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::approach::Approach;
+use crate::metrics::{ComparisonSummary, TraceComparison};
+use crate::runner::ExperimentRunner;
+
+/// Version stamp of the on-disk cache entry layout. Bumping it (or the
+/// crate version) invalidates every existing entry.
+pub const CACHE_FORMAT: u32 = 1;
+
+/// The pseudo-controller label under which per-session base-energy runs
+/// (everything at the lowest ladder level) are cached.
+const BASE_LABEL: &str = "__base";
+
+/// How a grid is executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Every cell on the caller's thread, in order.
+    Sequential,
+    /// A work-stealing worker pool; output order stays deterministic.
+    Parallel {
+        /// Worker count; `0` means one worker per available core.
+        jobs: usize,
+    },
+    /// Serve cells from `dir`, computing misses under `policy`.
+    Cached {
+        /// The cache directory (created on first use).
+        dir: PathBuf,
+        /// The policy used to compute cache misses.
+        policy: Box<ExecPolicy>,
+    },
+}
+
+impl ExecPolicy {
+    /// Auto-sized parallel execution (one worker per core).
+    #[must_use]
+    pub fn parallel() -> Self {
+        ExecPolicy::Parallel { jobs: 0 }
+    }
+
+    /// Cached execution over `dir`, computing misses under `inner`.
+    #[must_use]
+    pub fn cached(dir: impl Into<PathBuf>, inner: ExecPolicy) -> Self {
+        ExecPolicy::Cached {
+            dir: dir.into(),
+            policy: Box::new(inner),
+        }
+    }
+
+    /// Builds the policy the CLI flags describe: `--jobs 1` is
+    /// [`Sequential`](ExecPolicy::Sequential), any other `--jobs n` a
+    /// fixed-width pool, no `--jobs` an auto-sized pool; a `--cache-dir`
+    /// wraps the result in [`Cached`](ExecPolicy::Cached).
+    #[must_use]
+    pub fn from_options(jobs: Option<usize>, cache_dir: Option<&Path>) -> Self {
+        let inner = match jobs {
+            Some(1) => ExecPolicy::Sequential,
+            Some(n) => ExecPolicy::Parallel { jobs: n },
+            None => ExecPolicy::parallel(),
+        };
+        match cache_dir {
+            Some(dir) => ExecPolicy::cached(dir, inner),
+            None => inner,
+        }
+    }
+
+    /// The outermost cache directory, if this policy caches.
+    #[must_use]
+    pub fn cache_dir(&self) -> Option<&Path> {
+        match self {
+            ExecPolicy::Cached { dir, .. } => Some(dir),
+            _ => None,
+        }
+    }
+}
+
+/// Cache activity accumulated by a [`SweepEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Cells served from the on-disk cache.
+    pub hits: u64,
+    /// Cells computed because no valid entry existed.
+    pub misses: u64,
+    /// Entries found but rejected (bad header, version, parse failure).
+    /// Every corrupt entry also counts as a miss.
+    pub corrupt: u64,
+    /// Failed attempts to persist a computed result.
+    pub write_errors: u64,
+}
+
+impl CacheStats {
+    /// Total lookups (`hits + misses`).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// `true` when at least one lookup happened and all of them hit.
+    #[must_use]
+    pub fn all_hits(&self) -> bool {
+        self.hits > 0 && self.misses == 0 && self.corrupt == 0
+    }
+
+    /// One-line render, used by the bench binaries' stderr reporting.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "cache: hits={} misses={} corrupt={} write_errors={}",
+            self.hits, self.misses, self.corrupt, self.write_errors
+        )
+    }
+}
+
+/// What a grid cell runs: a real approach or the base-energy probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cell {
+    Approach(Approach),
+    BaseEnergy,
+}
+
+impl Cell {
+    fn label(self) -> &'static str {
+        match self {
+            Cell::Approach(a) => a.label(),
+            Cell::BaseEnergy => BASE_LABEL,
+        }
+    }
+}
+
+/// One schedulable unit: a session replayed under one cell kind.
+#[derive(Debug, Clone, Copy)]
+struct Job<'a> {
+    session: &'a SessionTrace,
+    cell: Cell,
+}
+
+/// The parts of a cache key shared by every cell of one engine.
+struct KeyContext {
+    crate_version: String,
+    eta: f64,
+    config_hash: String,
+    ladder: Vec<f64>,
+    fault: Option<FaultSpec>,
+}
+
+/// The full, serializable identity of one grid cell. Its stable FNV-1a
+/// hash is the cache key; any field changing means a different entry.
+#[derive(Serialize)]
+struct CellKey {
+    format: u32,
+    crate_version: String,
+    eta: f64,
+    config_hash: String,
+    ladder_mbps: Vec<f64>,
+    fault: Option<FaultSpec>,
+    controller: String,
+    session: String,
+    observed: bool,
+}
+
+/// First line of every cache entry; validated on load, never trusted.
+#[derive(Serialize, Deserialize)]
+struct CacheHeader {
+    format: u32,
+    key: String,
+    crate_version: String,
+    controller: String,
+    trace: String,
+    observed: bool,
+}
+
+/// A validated entry read back from disk.
+struct CachedEntry {
+    result: SessionResult,
+    log: Option<EventLog>,
+    probe_jsonl: Option<String>,
+}
+
+enum Lookup {
+    Hit(CachedEntry),
+    Absent,
+    Corrupt,
+}
+
+/// Executes experiment grids under an [`ExecPolicy`], with optional
+/// content-addressed result caching and metrics reporting.
+///
+/// # Examples
+///
+/// ```
+/// use ecas_core::sweep::{ExecPolicy, SweepEngine};
+/// use ecas_core::trace::videos::EvalTraceSpec;
+/// use ecas_core::{Approach, ExperimentRunner};
+///
+/// let sessions = vec![EvalTraceSpec::table_v()[0].generate()];
+/// let engine = SweepEngine::new(ExperimentRunner::paper());
+/// let approaches = [Approach::Youtube, Approach::Ours];
+/// let seq = engine.run_grid(&sessions, &approaches, &ExecPolicy::Sequential);
+/// let par = engine.run_grid(&sessions, &approaches, &ExecPolicy::parallel());
+/// assert_eq!(seq, par);
+/// ```
+pub struct SweepEngine {
+    runner: ExperimentRunner,
+    registry: Option<Arc<MetricsRegistry>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl SweepEngine {
+    /// Creates an engine around a configured runner.
+    #[must_use]
+    pub fn new(runner: ExperimentRunner) -> Self {
+        Self {
+            runner,
+            registry: None,
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// Mirrors cache hit/miss/corrupt/write-error counts into `registry`
+    /// under the [`ecas_obs::counters`] `sweep/cache_*` names.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The underlying runner.
+    #[must_use]
+    pub fn runner(&self) -> &ExperimentRunner {
+        &self.runner
+    }
+
+    /// Cache activity accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Runs every `(session, approach)` pair under `policy`, returning
+    /// results in sessions-major order — identical across policies.
+    #[must_use]
+    pub fn run_grid(
+        &self,
+        sessions: &[SessionTrace],
+        approaches: &[Approach],
+        policy: &ExecPolicy,
+    ) -> Vec<SessionResult> {
+        let jobs: Vec<Job<'_>> = sessions
+            .iter()
+            .flat_map(|s| {
+                approaches.iter().map(move |a| Job {
+                    session: s,
+                    cell: Cell::Approach(*a),
+                })
+            })
+            .collect();
+        self.execute(&jobs, policy)
+    }
+
+    /// Runs the full comparison grid — one base-energy cell plus one cell
+    /// per approach, per session — and aggregates it exactly like
+    /// [`ComparisonSummary::evaluate`]. Base-energy runs go through the
+    /// same pool and cache as the approach cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `approaches` omits the Youtube baseline (required by the
+    /// comparison metrics).
+    #[must_use]
+    pub fn comparison(
+        &self,
+        sessions: &[SessionTrace],
+        approaches: &[Approach],
+        policy: &ExecPolicy,
+    ) -> ComparisonSummary {
+        let jobs: Vec<Job<'_>> = sessions
+            .iter()
+            .flat_map(|s| {
+                std::iter::once(Job {
+                    session: s,
+                    cell: Cell::BaseEnergy,
+                })
+                .chain(approaches.iter().map(move |a| Job {
+                    session: s,
+                    cell: Cell::Approach(*a),
+                }))
+            })
+            .collect();
+        let results = self.execute(&jobs, policy);
+        let stride = approaches.len() + 1;
+        let traces = sessions
+            .iter()
+            .zip(results.chunks(stride))
+            .filter_map(|(session, chunk)| {
+                let (base, rows) = chunk.split_first()?;
+                Some(TraceComparison::from_results(
+                    session.meta().name.clone(),
+                    base.total_energy,
+                    approaches,
+                    rows,
+                ))
+            })
+            .collect();
+        ComparisonSummary { traces }
+    }
+
+    /// The session's base energy (Fig. 5c), served through the cache when
+    /// `policy` caches.
+    #[must_use]
+    pub fn base_energy(&self, session: &SessionTrace, policy: &ExecPolicy) -> Joules {
+        let job = Job {
+            session,
+            cell: Cell::BaseEnergy,
+        };
+        self.execute(std::slice::from_ref(&job), policy)
+            .into_iter()
+            .next()
+            .map(|r| r.total_energy)
+            .unwrap_or_else(|| self.runner.base_energy(session))
+    }
+
+    /// Like [`ExperimentRunner::run_with_probe`] but cache-aware: the
+    /// deterministic event stream is written to `events_path` either by a
+    /// live instrumented run (miss — the stream is then stored alongside
+    /// the result) or byte-for-byte from the cache (hit — the simulator
+    /// never runs, so `registry` accumulates no `sim/*` metrics for the
+    /// pair).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if `events_path` cannot be written. Cache
+    /// *store* failures are counted in [`CacheStats::write_errors`], not
+    /// returned.
+    pub fn run_observed_pair(
+        &self,
+        session: &SessionTrace,
+        approach: &Approach,
+        cache_dir: Option<&Path>,
+        events_path: &Path,
+        registry: &Arc<MetricsRegistry>,
+    ) -> io::Result<(SessionResult, EventLog)> {
+        let job = Job {
+            session,
+            cell: Cell::Approach(*approach),
+        };
+        let cache = match cache_dir {
+            Some(dir) => {
+                fs::create_dir_all(dir)?;
+                let key = self
+                    .keys_for(std::slice::from_ref(&job), true)
+                    .into_iter()
+                    .next()
+                    .unwrap_or_default();
+                Some((dir, key))
+            }
+            None => None,
+        };
+
+        if let Some((dir, key)) = &cache {
+            match self.load(dir, key, &job, true) {
+                Lookup::Hit(entry) => {
+                    if let (Some(log), Some(probe)) = (entry.log, entry.probe_jsonl) {
+                        self.note_hit();
+                        fs::write(events_path, probe)?;
+                        return Ok((entry.result, log));
+                    }
+                    self.note_corrupt();
+                }
+                Lookup::Corrupt => self.note_corrupt(),
+                Lookup::Absent => {}
+            }
+            self.note_miss();
+        }
+
+        let recorder = JsonlRecorder::create_with_registry(events_path, Arc::clone(registry))?;
+        let (result, log) = self.runner.run_with_probe(session, approach, &recorder);
+        recorder.flush()?;
+        drop(recorder);
+
+        if let Some((dir, key)) = &cache {
+            let probe = fs::read_to_string(events_path).unwrap_or_default();
+            if self
+                .store(dir, key, &job, &result, Some((&log, &probe)))
+                .is_err()
+            {
+                self.note_write_error();
+            }
+        }
+        Ok((result, log))
+    }
+
+    // ---------------------------------------------------------------- //
+    // Execution
+    // ---------------------------------------------------------------- //
+
+    fn compute(&self, job: &Job<'_>) -> SessionResult {
+        match job.cell {
+            Cell::Approach(a) => self.runner.run(job.session, &a),
+            Cell::BaseEnergy => {
+                let mut lowest = FixedLevel::new(LevelIndex::new(0));
+                self.runner.simulator().run(job.session, &mut lowest)
+            }
+        }
+    }
+
+    fn execute(&self, jobs: &[Job<'_>], policy: &ExecPolicy) -> Vec<SessionResult> {
+        match policy {
+            ExecPolicy::Sequential => jobs.iter().map(|j| self.compute(j)).collect(),
+            ExecPolicy::Parallel { jobs: n } => self.execute_parallel(jobs, *n),
+            ExecPolicy::Cached { dir, policy } => self.execute_cached(jobs, dir, policy),
+        }
+    }
+
+    /// The shared worker pool: a next-index counter hands jobs to workers
+    /// as they free up; each result lands in its preassigned slot, so the
+    /// output order matches [`ExecPolicy::Sequential`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    fn execute_parallel(&self, jobs: &[Job<'_>], requested: usize) -> Vec<SessionResult> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let auto = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        let workers = if requested == 0 { auto } else { requested }.min(jobs.len());
+        if workers <= 1 {
+            return jobs.iter().map(|j| self.compute(j)).collect();
+        }
+        let results: Mutex<Vec<Option<SessionResult>>> = Mutex::new(vec![None; jobs.len()]);
+        let next: Mutex<usize> = Mutex::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let idx = {
+                        let mut guard = next.lock();
+                        let idx = *guard;
+                        if idx >= jobs.len() {
+                            return;
+                        }
+                        *guard += 1;
+                        idx
+                    };
+                    let Some(job) = jobs.get(idx) else {
+                        return;
+                    };
+                    let result = self.compute(job);
+                    if let Some(cell) = results.lock().get_mut(idx) {
+                        *cell = Some(result);
+                    }
+                });
+            }
+        })
+        // ecas-lint: allow(panic-safety, reason = "a worker panic must propagate to the caller, not be swallowed into a partial grid")
+        .expect("sweep worker panicked");
+        results
+            .into_inner()
+            .into_iter()
+            // ecas-lint: allow(panic-safety, reason = "the job queue assigns every slot index exactly once; an empty slot is a scheduler bug worth crashing on")
+            .map(|r| r.expect("every sweep job filled its slot"))
+            .collect()
+    }
+
+    fn execute_cached(&self, jobs: &[Job<'_>], dir: &Path, inner: &ExecPolicy) -> Vec<SessionResult> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let dir_ok = fs::create_dir_all(dir).is_ok();
+        if !dir_ok {
+            // Degrade to plain computation: one write error for the
+            // unusable directory, every cell a miss.
+            self.note_write_error();
+        }
+        let keys = self.keys_for(jobs, false);
+        let mut slots: Vec<Option<SessionResult>> = jobs
+            .iter()
+            .zip(&keys)
+            .map(|(job, key)| {
+                if !dir_ok {
+                    return None;
+                }
+                match self.load(dir, key, job, false) {
+                    Lookup::Hit(entry) => {
+                        self.note_hit();
+                        Some(entry.result)
+                    }
+                    Lookup::Absent => None,
+                    Lookup::Corrupt => {
+                        self.note_corrupt();
+                        None
+                    }
+                }
+            })
+            .collect();
+
+        let missing: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.is_none().then_some(i))
+            .collect();
+        for _ in &missing {
+            self.note_miss();
+        }
+        let miss_jobs: Vec<Job<'_>> = missing
+            .iter()
+            .filter_map(|&i| jobs.get(i).copied())
+            .collect();
+        let computed = self.execute(&miss_jobs, inner);
+        for (&slot_idx, result) in missing.iter().zip(computed) {
+            if dir_ok {
+                if let (Some(job), Some(key)) = (jobs.get(slot_idx), keys.get(slot_idx)) {
+                    if self.store(dir, key, job, &result, None).is_err() {
+                        self.note_write_error();
+                    }
+                }
+            }
+            if let Some(slot) = slots.get_mut(slot_idx) {
+                *slot = Some(result);
+            }
+        }
+        slots
+            .into_iter()
+            // ecas-lint: allow(panic-safety, reason = "every index is either a hit or appears in `missing` and is filled from the computed batch; an empty slot is an engine bug worth crashing on")
+            .map(|r| r.expect("every sweep slot filled"))
+            .collect()
+    }
+
+    // ---------------------------------------------------------------- //
+    // Cache keys
+    // ---------------------------------------------------------------- //
+
+    fn key_context(&self) -> KeyContext {
+        let sim = self.runner.simulator();
+        let ladder = sim.ladder();
+        KeyContext {
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            eta: self.runner.eta(),
+            config_hash: format!("{:016x}", stable_hash(sim.config())),
+            ladder: (0..ladder.len())
+                .map(|i| ladder.bitrate(LevelIndex::new(i)).value())
+                .collect(),
+            fault: sim.faults().copied(),
+        }
+    }
+
+    /// One cache key per job. The full session trace is content-hashed
+    /// once per distinct session (jobs arrive sessions-major, so a
+    /// single-entry memo suffices).
+    fn keys_for(&self, jobs: &[Job<'_>], observed: bool) -> Vec<String> {
+        let ctx = self.key_context();
+        let mut memo: Option<(*const SessionTrace, String)> = None;
+        jobs.iter()
+            .map(|job| {
+                let ptr: *const SessionTrace = job.session;
+                let session_hash = match &memo {
+                    Some((p, h)) if std::ptr::eq(*p, ptr) => h.clone(),
+                    _ => {
+                        let h = format!("{:016x}", stable_hash(job.session));
+                        memo = Some((ptr, h.clone()));
+                        h
+                    }
+                };
+                let key = CellKey {
+                    format: CACHE_FORMAT,
+                    crate_version: ctx.crate_version.clone(),
+                    eta: ctx.eta,
+                    config_hash: ctx.config_hash.clone(),
+                    ladder_mbps: ctx.ladder.clone(),
+                    fault: ctx.fault,
+                    controller: job.cell.label().to_string(),
+                    session: session_hash,
+                    observed,
+                };
+                format!("{:016x}", stable_hash(&key))
+            })
+            .collect()
+    }
+
+    // ---------------------------------------------------------------- //
+    // Cache I/O
+    // ---------------------------------------------------------------- //
+
+    fn load(&self, dir: &Path, key: &str, job: &Job<'_>, observed: bool) -> Lookup {
+        let text = match fs::read_to_string(entry_path(dir, key)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Absent,
+            Err(_) => return Lookup::Corrupt,
+        };
+        parse_entry(&text, key, job, observed).map_or(Lookup::Corrupt, Lookup::Hit)
+    }
+
+    /// Writes an entry via a temp file + rename so a concurrent reader
+    /// never sees a half-written entry (it sees the old one or none).
+    fn store(
+        &self,
+        dir: &Path,
+        key: &str,
+        job: &Job<'_>,
+        result: &SessionResult,
+        observed: Option<(&EventLog, &str)>,
+    ) -> io::Result<()> {
+        let header = CacheHeader {
+            format: CACHE_FORMAT,
+            key: key.to_string(),
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            controller: job.cell.label().to_string(),
+            trace: job.session.meta().name.clone(),
+            observed: observed.is_some(),
+        };
+        let mut text = String::new();
+        text.push_str(&to_json(&header)?);
+        text.push('\n');
+        text.push_str(&to_json(result)?);
+        text.push('\n');
+        if let Some((log, probe)) = observed {
+            text.push_str(&to_json(log)?);
+            text.push('\n');
+            text.push_str(&to_json(&probe.to_string())?);
+            text.push('\n');
+        }
+        let tmp = dir.join(format!("{key}.tmp"));
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, entry_path(dir, key))
+    }
+
+    // ---------------------------------------------------------------- //
+    // Stats
+    // ---------------------------------------------------------------- //
+
+    fn note_hit(&self) {
+        self.stats.lock().hits += 1;
+        self.bump(counters::SWEEP_CACHE_HIT);
+    }
+
+    fn note_miss(&self) {
+        self.stats.lock().misses += 1;
+        self.bump(counters::SWEEP_CACHE_MISS);
+    }
+
+    fn note_corrupt(&self) {
+        self.stats.lock().corrupt += 1;
+        self.bump(counters::SWEEP_CACHE_CORRUPT);
+    }
+
+    fn note_write_error(&self) {
+        self.stats.lock().write_errors += 1;
+        self.bump(counters::SWEEP_CACHE_WRITE_ERROR);
+    }
+
+    fn bump(&self, name: &'static str) {
+        if let Some(registry) = &self.registry {
+            registry.add(name, 1);
+        }
+    }
+}
+
+fn entry_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.jsonl"))
+}
+
+fn to_json<T: Serialize>(value: &T) -> io::Result<String> {
+    serde_json::to_string(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("cache serialize: {e}")))
+}
+
+/// Parses and validates one entry. Any mismatch — wrong format, wrong
+/// key, wrong crate version, wrong cell identity, malformed payload,
+/// trailing garbage — rejects the whole entry.
+fn parse_entry(text: &str, key: &str, job: &Job<'_>, observed: bool) -> Option<CachedEntry> {
+    let mut lines = text.lines();
+    let header: CacheHeader = serde_json::from_str(lines.next()?).ok()?;
+    let valid = header.format == CACHE_FORMAT
+        && header.key == key
+        && header.crate_version == env!("CARGO_PKG_VERSION")
+        && header.controller == job.cell.label()
+        && header.trace == job.session.meta().name
+        && header.observed == observed;
+    if !valid {
+        return None;
+    }
+    let result: SessionResult = serde_json::from_str(lines.next()?).ok()?;
+    let (log, probe_jsonl) = if observed {
+        let log: EventLog = serde_json::from_str(lines.next()?).ok()?;
+        let probe: String = serde_json::from_str(lines.next()?).ok()?;
+        (Some(log), Some(probe))
+    } else {
+        (None, None)
+    };
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(CachedEntry {
+        result,
+        log,
+        probe_jsonl,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecas_trace::synth::context::{Context, ContextSchedule};
+    use ecas_trace::synth::SessionGenerator;
+    use ecas_types::units::Seconds;
+
+    fn sessions() -> Vec<SessionTrace> {
+        vec![SessionGenerator::new(
+            "sweep-test",
+            ContextSchedule::constant(Context::Walking),
+            Seconds::new(40.0),
+            5,
+        )
+        .generate()]
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ecas-sweep-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn from_options_composes_policies() {
+        assert_eq!(
+            ExecPolicy::from_options(Some(1), None),
+            ExecPolicy::Sequential
+        );
+        assert_eq!(
+            ExecPolicy::from_options(Some(3), None),
+            ExecPolicy::Parallel { jobs: 3 }
+        );
+        assert_eq!(ExecPolicy::from_options(None, None), ExecPolicy::parallel());
+        let cached = ExecPolicy::from_options(Some(1), Some(Path::new("/tmp/c")));
+        assert_eq!(cached.cache_dir(), Some(Path::new("/tmp/c")));
+        assert_eq!(
+            cached,
+            ExecPolicy::cached("/tmp/c", ExecPolicy::Sequential)
+        );
+    }
+
+    #[test]
+    fn cold_then_warm_cache_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let sessions = sessions();
+        let approaches = [Approach::Youtube, Approach::Ours];
+        let policy = ExecPolicy::cached(&dir, ExecPolicy::Sequential);
+
+        let engine = SweepEngine::new(ExperimentRunner::paper());
+        let cold = engine.run_grid(&sessions, &approaches, &policy);
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 0);
+
+        let warm_engine = SweepEngine::new(ExperimentRunner::paper());
+        let warm = warm_engine.run_grid(&sessions, &approaches, &policy);
+        let warm_stats = warm_engine.stats();
+        assert_eq!(warm, cold);
+        assert!(warm_stats.all_hits(), "{warm_stats:?}");
+        assert_eq!(warm_stats.hits, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entries_are_recomputed_and_repaired() {
+        let dir = temp_dir("corrupt");
+        let sessions = sessions();
+        let approaches = [Approach::Youtube];
+        let policy = ExecPolicy::cached(&dir, ExecPolicy::Sequential);
+
+        let engine = SweepEngine::new(ExperimentRunner::paper());
+        let cold = engine.run_grid(&sessions, &approaches, &policy);
+
+        // Truncate every entry to garbage.
+        for entry in fs::read_dir(&dir).unwrap() {
+            fs::write(entry.unwrap().path(), "{ not json").unwrap();
+        }
+
+        let repaired_engine = SweepEngine::new(ExperimentRunner::paper());
+        let repaired = repaired_engine.run_grid(&sessions, &approaches, &policy);
+        let stats = repaired_engine.stats();
+        assert_eq!(repaired, cold);
+        assert_eq!(stats.corrupt, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
+
+        // The repaired entry serves the next run.
+        let warm_engine = SweepEngine::new(ExperimentRunner::paper());
+        assert_eq!(warm_engine.run_grid(&sessions, &approaches, &policy), cold);
+        assert!(warm_engine.stats().all_hits());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_key_separates_eta_fault_and_observed() {
+        let engine = SweepEngine::new(ExperimentRunner::paper());
+        let sessions = sessions();
+        let job = Job {
+            session: &sessions[0],
+            cell: Cell::Approach(Approach::Ours),
+        };
+        let jobs = std::slice::from_ref(&job);
+        let base = engine.keys_for(jobs, false);
+        assert_eq!(engine.keys_for(jobs, false), base, "keys must be stable");
+        assert_ne!(engine.keys_for(jobs, true), base, "observed flag must key");
+
+        let other_eta = SweepEngine::new(ExperimentRunner::paper_with_eta(0.9));
+        assert_ne!(other_eta.keys_for(jobs, false), base, "eta must key");
+
+        let faulty = SweepEngine::new(ExperimentRunner::new(
+            ExperimentRunner::paper()
+                .simulator()
+                .clone()
+                .with_faults(FaultSpec::scaled(0.5, 7)),
+            0.5,
+        ));
+        assert_ne!(faulty.keys_for(jobs, false), base, "fault spec must key");
+
+        let youtube_job = Job {
+            session: &sessions[0],
+            cell: Cell::Approach(Approach::Youtube),
+        };
+        assert_ne!(
+            engine.keys_for(std::slice::from_ref(&youtube_job), false),
+            base,
+            "controller must key"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_through_engine() {
+        let engine = SweepEngine::new(ExperimentRunner::paper());
+        let sessions = sessions();
+        let approaches = [Approach::Youtube, Approach::Ours, Approach::Bba];
+        let seq = engine.run_grid(&sessions, &approaches, &ExecPolicy::Sequential);
+        let par = engine.run_grid(&sessions, &approaches, &ExecPolicy::parallel());
+        let two = engine.run_grid(&sessions, &approaches, &ExecPolicy::Parallel { jobs: 2 });
+        assert_eq!(seq, par);
+        assert_eq!(seq, two);
+    }
+
+    #[test]
+    fn comparison_matches_legacy_evaluate() {
+        let engine = SweepEngine::new(ExperimentRunner::paper());
+        let sessions = sessions();
+        let approaches = Approach::paper_set();
+        let via_engine = engine.comparison(&sessions, &approaches, &ExecPolicy::Sequential);
+        let legacy =
+            ComparisonSummary::evaluate(engine.runner(), &sessions, &approaches);
+        assert_eq!(via_engine, legacy);
+    }
+}

@@ -11,17 +11,15 @@ use ecas_core::trace::synth::context::Context;
 use ecas_core::{observe, Approach, ExperimentRunner, Scenario, TraceSelection};
 
 fn scenario() -> Scenario {
-    Scenario {
-        name: "determinism".to_string(),
-        traces: TraceSelection::Synthetic {
+    Scenario::builder("determinism")
+        .traces(TraceSelection::Synthetic {
             context: Context::MovingVehicle,
             seconds: 60.0,
             count: 2,
             base_seed: 23,
-        },
-        approaches: vec![Approach::Youtube, Approach::Ours, Approach::Festive],
-        eta: 0.5,
-    }
+        })
+        .approaches(vec![Approach::Youtube, Approach::Ours, Approach::Festive])
+        .build()
 }
 
 fn temp_dir(tag: &str) -> PathBuf {

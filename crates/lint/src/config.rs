@@ -66,6 +66,7 @@ impl Default for Config {
             ("obs-purity", Severity::Deny),
             ("allow-reason", Severity::Deny),
             ("unused-allow", Severity::Warn),
+            ("bench-cli", Severity::Deny),
         ] {
             defaults.insert(rule.to_string(), severity);
         }

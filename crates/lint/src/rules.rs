@@ -49,6 +49,10 @@ pub const RULES: &[(&str, &str)] = &[
         "every ecas-lint allow directive must carry a reason",
     ),
     ("unused-allow", "allow directives must suppress something"),
+    (
+        "bench-cli",
+        "bench binaries parse arguments through ecas_bench::cli, never std::env::args",
+    ),
 ];
 
 /// Identifiers banned by the determinism rule, with tailored hints.
@@ -157,6 +161,9 @@ pub fn run_all(
     slice_indexing(tokens, &mut findings);
     float_compare(tokens, &mut findings);
     obs_purity(tokens, &mut findings);
+    if rel_path.contains("crates/bench/src/bin/") {
+        bench_cli(tokens, &mut findings);
+    }
     findings.sort_by_key(|f| f.line);
     findings
 }
@@ -321,6 +328,29 @@ fn float_compare(tokens: &[Token], out: &mut Vec<RawFinding>) {
     }
 }
 
+/// `env::args` / `env::args_os` in a bench binary: every bin must go
+/// through the shared `ecas_bench::cli` parser so flags, validation and
+/// `--help` stay uniform across the tool suite.
+fn bench_cli(tokens: &[Token], out: &mut Vec<RawFinding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("args") || t.is_ident("args_os")) {
+            continue;
+        }
+        let pathy = matches!(tokens.get(i.wrapping_sub(1)), Some(p) if p.is_punct("::"))
+            && matches!(tokens.get(i.wrapping_sub(2)), Some(p) if p.is_ident("env"));
+        if pathy {
+            out.push(RawFinding {
+                line: t.line,
+                rule: "bench-cli",
+                message: format!("direct `env::{}` in a bench binary", t.text),
+                hint: "declare the surface with ecas_bench::cli::Cli and call .parse(); \
+                       the shared parser provides --help, validation and the common flags"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 fn obs_purity(tokens: &[Token], out: &mut Vec<RawFinding>) {
     for (i, t) in tokens.iter().enumerate() {
         if !t.is_ident("emit")
@@ -413,6 +443,38 @@ mod tests {
         assert!(findings_for("ecas-qoe", "Some(self.cmp(other))").is_empty());
         // Integer comparisons are fine.
         assert!(findings_for("ecas-qoe", "if n == 3 {}").is_empty());
+    }
+
+    #[test]
+    fn bench_cli_fires_only_under_bench_bins() {
+        let src = "let args: Vec<String> = std::env::args().skip(1).collect();";
+        let in_bin = run_all(
+            "ecas-bench",
+            "crates/bench/src/bin/fig9.rs",
+            &scan(src).tokens,
+            &Config::default(),
+        );
+        assert_eq!(
+            in_bin.iter().filter(|f| f.rule == "bench-cli").count(),
+            1,
+            "{in_bin:#?}"
+        );
+        // The shared parser itself (bench/src/cli.rs) may read env::args.
+        let in_lib = run_all(
+            "ecas-bench",
+            "crates/bench/src/cli.rs",
+            &scan(src).tokens,
+            &Config::default(),
+        );
+        assert!(in_lib.iter().all(|f| f.rule != "bench-cli"));
+        // `env::var` and unrelated `args` identifiers stay clean.
+        let clean = run_all(
+            "ecas-bench",
+            "crates/bench/src/bin/fig9.rs",
+            &scan("let v = std::env::var(\"HOME\"); fn f(args: &[String]) {}").tokens,
+            &Config::default(),
+        );
+        assert!(clean.iter().all(|f| f.rule != "bench-cli"), "{clean:#?}");
     }
 
     #[test]

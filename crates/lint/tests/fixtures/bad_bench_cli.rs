@@ -1,0 +1,7 @@
+//! Fixture: a bench binary reading the process arguments directly
+//! instead of declaring its surface through `ecas_bench::cli::Cli`.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let _ = smoke;
+}

@@ -21,6 +21,7 @@ fn fixture_source(fixture: &str) -> &'static str {
         "bad_obs_purity.rs" => include_str!("fixtures/bad_obs_purity.rs"),
         "bad_allow_reason.rs" => include_str!("fixtures/bad_allow_reason.rs"),
         "bad_unused_allow.rs" => include_str!("fixtures/bad_unused_allow.rs"),
+        "bad_bench_cli.rs" => include_str!("fixtures/bad_bench_cli.rs"),
         "clean.rs" => include_str!("fixtures/clean.rs"),
         other => panic!("unknown fixture {other}"),
     }
@@ -132,6 +133,25 @@ fn unused_allow_warns() {
     assert_eq!(unused.len(), 1, "exactly one unused directive: {diags:#?}");
     assert_eq!(unused[0].line, 3);
     assert_eq!(unused[0].severity, Severity::Warn);
+}
+
+#[test]
+fn bench_cli_fixture_fires_inside_bin_targets_only() {
+    let source = fixture_source("bad_bench_cli.rs");
+    let diags = lint_source(
+        "ecas-bench",
+        "crates/bench/src/bin/bad_bench_cli.rs",
+        source,
+        &Config::default(),
+    );
+    assert_fires(&diags, "bench-cli", 4); // std::env::args()
+
+    // The same source outside bin/ (e.g. the shared parser) is exempt.
+    let diags = lint_source("ecas-bench", "crates/bench/src/cli.rs", source, &Config::default());
+    assert!(
+        !diags.iter().any(|d| d.rule == "bench-cli"),
+        "bench-cli must be scoped to crates/bench/src/bin/: {diags:#?}"
+    );
 }
 
 #[test]

@@ -65,6 +65,35 @@ pub mod recorder;
 pub mod render;
 
 pub use manifest::{fnv1a_64, stable_hash, RunManifest, TraceRef};
+
+/// Canonical counter names shared across the workspace.
+///
+/// The sweep cache (see `ecas-core`'s `sweep` module and the README
+/// "Result caching" section) reports every lookup against these names so
+/// observed runs expose their cache behaviour in `metrics.txt`:
+///
+/// * one [`SWEEP_CACHE_HIT`](counters::SWEEP_CACHE_HIT) per grid cell
+///   served from the on-disk cache;
+/// * one [`SWEEP_CACHE_MISS`](counters::SWEEP_CACHE_MISS) per cell that
+///   had to be computed (absent *or* invalid entries both count — a
+///   corrupt entry is a miss plus a
+///   [`SWEEP_CACHE_CORRUPT`](counters::SWEEP_CACHE_CORRUPT));
+/// * one [`SWEEP_CACHE_WRITE_ERROR`](counters::SWEEP_CACHE_WRITE_ERROR)
+///   per failed store — store failures degrade to recomputation and are
+///   never fatal.
+///
+/// On a fully warm cache the simulator never runs, so `sim/*` counters
+/// stay at zero while `sweep/cache_hit` equals the grid size.
+pub mod counters {
+    /// A grid cell was served from the on-disk result cache.
+    pub const SWEEP_CACHE_HIT: &str = "sweep/cache_hit";
+    /// A grid cell had to be computed (no valid cache entry).
+    pub const SWEEP_CACHE_MISS: &str = "sweep/cache_miss";
+    /// A cache entry existed but failed validation and was discarded.
+    pub const SWEEP_CACHE_CORRUPT: &str = "sweep/cache_corrupt";
+    /// A computed result could not be persisted to the cache.
+    pub const SWEEP_CACHE_WRITE_ERROR: &str = "sweep/cache_write_error";
+}
 pub use metrics::{
     HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SpanSnapshot, DEFAULT_BUCKETS,
 };

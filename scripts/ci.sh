@@ -49,6 +49,29 @@ for artifact in manifest.json metrics.txt events timelines; do
     fi
 done
 
+echo "==> smoke: warm result cache (100% hits, byte-identical output)"
+cache_dir="$obs_dir/cache"
+./target/release/evaluate --cache-dir "$cache_dir" \
+    > "$obs_dir/eval_cold.txt" 2> "$obs_dir/eval_cold.log"
+./target/release/evaluate --cache-dir "$cache_dir" \
+    > "$obs_dir/eval_warm.txt" 2> "$obs_dir/eval_warm.log"
+if ! cmp -s "$obs_dir/eval_cold.txt" "$obs_dir/eval_warm.txt"; then
+    echo "warm-cache evaluate output differs from the cold run" >&2
+    diff "$obs_dir/eval_cold.txt" "$obs_dir/eval_warm.txt" >&2 || true
+    exit 1
+fi
+if ! grep -Eq 'cache: hits=[1-9][0-9]* misses=0 corrupt=0' "$obs_dir/eval_warm.log"; then
+    echo "warm-cache evaluate was not served 100% from the cache" >&2
+    cat "$obs_dir/eval_warm.log" >&2
+    exit 1
+fi
+
+echo "==> bench binaries go through the shared CLI (no direct env::args)"
+if grep -Rn 'env::args' crates/bench/src/bin/; then
+    echo "bench binaries must parse arguments via ecas_bench::cli" >&2
+    exit 1
+fi
+
 echo "==> smoke: fault injection (determinism + liveness)"
 ./target/release/fault_sweep --smoke > "$obs_dir/fault_sweep_1.txt"
 ./target/release/fault_sweep --smoke > "$obs_dir/fault_sweep_2.txt"

@@ -2,7 +2,7 @@
 
 use ecas::trace::io::{decode_binary, encode_binary, read_json, write_json};
 use ecas::trace::videos::EvalTraceSpec;
-use ecas::{Approach, ExperimentRunner};
+use ecas::{Approach, ExecPolicy, ExperimentRunner};
 
 #[test]
 fn whole_evaluation_is_deterministic() {
@@ -12,7 +12,7 @@ fn whole_evaluation_is_deterministic() {
             .map(EvalTraceSpec::generate)
             .collect();
         let runner = ExperimentRunner::paper();
-        runner.run_grid(&sessions, &Approach::paper_set())
+        runner.run_grid(&sessions, &Approach::paper_set(), &ExecPolicy::Sequential)
     };
     let a = run();
     let b = run();
@@ -65,7 +65,7 @@ fn parallel_and_sequential_grids_agree() {
     let runner = ExperimentRunner::paper();
     let approaches = [Approach::Youtube, Approach::Festive, Approach::Ours];
     assert_eq!(
-        runner.run_grid(&sessions, &approaches),
-        runner.run_grid_parallel(&sessions, &approaches)
+        runner.run_grid(&sessions, &approaches, &ExecPolicy::Sequential),
+        runner.run_grid(&sessions, &approaches, &ExecPolicy::parallel())
     );
 }

@@ -13,17 +13,15 @@ use ecas::{render_markdown, Approach, ExperimentRunner, Scenario, TraceSelection
 
 #[test]
 fn scenario_json_roundtrip_runs_and_renders() {
-    let scenario = Scenario {
-        name: "tooling-smoke".to_string(),
-        traces: TraceSelection::Synthetic {
+    let scenario = Scenario::builder("tooling-smoke")
+        .traces(TraceSelection::Synthetic {
             context: Context::MovingVehicle,
             seconds: 60.0,
             count: 2,
             base_seed: 40,
-        },
-        approaches: vec![Approach::Youtube, Approach::Ours, Approach::AdaptiveEta],
-        eta: 0.5,
-    };
+        })
+        .approaches(vec![Approach::Youtube, Approach::Ours, Approach::AdaptiveEta])
+        .build();
     // A user could write this JSON by hand; it must survive the trip.
     let json = serde_json::to_string_pretty(&scenario).unwrap();
     let parsed: Scenario = serde_json::from_str(&json).unwrap();
