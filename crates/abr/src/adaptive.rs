@@ -146,10 +146,10 @@ mod tests {
         let adaptive = sim.run(&session, &mut AdaptiveEta::new());
         let fixed = sim.run(&session, &mut Online::paper());
         assert!(
-            adaptive.total_energy.value() <= fixed.total_energy.value() * 1.05,
+            adaptive.total_energy().value() <= fixed.total_energy().value() * 1.05,
             "adaptive {} vs fixed {}",
-            adaptive.total_energy,
-            fixed.total_energy
+            adaptive.total_energy(),
+            fixed.total_energy()
         );
     }
 

@@ -41,7 +41,7 @@ fn all_controllers_run_on_table_ii_ladder() {
     for mut c in controllers() {
         let r = sim.run(&s, c.as_mut());
         assert_eq!(r.tasks.len(), 30, "{}", c.name());
-        assert!(r.total_energy.value() > 0.0);
+        assert!(r.total_energy().value() > 0.0);
     }
 }
 

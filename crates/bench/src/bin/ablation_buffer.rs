@@ -42,7 +42,7 @@ fn main() {
         table.row(vec![
             format!("{b:.0}"),
             format!("{:.1}", youtube.total_rebuffer.value()),
-            format!("{:.0}", ours.total_energy.value()),
+            format!("{:.0}", ours.total_energy().value()),
             format!("{:.2}", ours.mean_qoe.value()),
             format!("{:.1}", ours.total_rebuffer.value()),
         ]);

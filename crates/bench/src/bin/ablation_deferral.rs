@@ -64,7 +64,7 @@ fn main() {
             let mut controller = make();
             let r = sim.run(session, controller.as_mut());
             radio += r.energy.radio.value() + r.energy.tail.value();
-            total += r.total_energy.value();
+            total += r.total_energy().value();
             qoe += r.mean_qoe.value();
             stalls += r.total_rebuffer.value();
         }

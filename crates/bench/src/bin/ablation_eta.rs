@@ -33,9 +33,9 @@ fn main() {
         let optimal = runner.run(&session, &Approach::Optimal);
         table.row(vec![
             format!("{eta:.2}"),
-            format!("{:.0}", ours.total_energy.value()),
+            format!("{:.0}", ours.total_energy().value()),
             format!("{:.2}", ours.mean_qoe.value()),
-            format!("{:.0}", optimal.total_energy.value()),
+            format!("{:.0}", optimal.total_energy().value()),
             format!("{:.2}", optimal.mean_qoe.value()),
         ]);
     }

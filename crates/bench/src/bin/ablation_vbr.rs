@@ -48,8 +48,8 @@ fn main() {
         let vbr = vbr_runner.run(&session, &approach);
         table.row(vec![
             approach.label().to_string(),
-            format!("{:.0}", cbr.total_energy.value()),
-            format!("{:.0}", vbr.total_energy.value()),
+            format!("{:.0}", cbr.total_energy().value()),
+            format!("{:.0}", vbr.total_energy().value()),
             format!("{:.2}", cbr.mean_qoe.value()),
             format!("{:.2}", vbr.mean_qoe.value()),
             format!("{:.1}", vbr.total_rebuffer.value()),

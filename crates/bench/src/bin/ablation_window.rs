@@ -36,10 +36,10 @@ fn main() {
         let ours = sim.run(&session, &mut Online::paper().estimator_window(k));
         table.row(vec![
             format!("{k}"),
-            format!("{:.0}", festive.total_energy.value()),
+            format!("{:.0}", festive.total_energy().value()),
             format!("{:.2}", festive.mean_qoe.value()),
             format!("{}", festive.switches),
-            format!("{:.0}", ours.total_energy.value()),
+            format!("{:.0}", ours.total_energy().value()),
             format!("{:.2}", ours.mean_qoe.value()),
             format!("{}", ours.switches),
         ]);

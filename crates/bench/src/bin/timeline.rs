@@ -72,7 +72,7 @@ fn main() -> ExitCode {
         "{} on {}: {:.0} J, QoE {:.2}, {} events\n",
         approach.label(),
         spec.name(),
-        result.total_energy.value(),
+        result.total_energy().value(),
         result.mean_qoe.value(),
         log.len()
     );

@@ -34,7 +34,7 @@
 //! let runner = ExperimentRunner::paper();
 //! let youtube = runner.run(&session, &Approach::Youtube);
 //! let ours = runner.run(&session, &Approach::Ours);
-//! assert!(ours.total_energy < youtube.total_energy, "ours saves energy");
+//! assert!(ours.total_energy() < youtube.total_energy(), "ours saves energy");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -43,6 +43,7 @@
 pub mod approach;
 pub mod metrics;
 pub mod observe;
+pub mod oracle;
 pub mod report;
 pub mod robustness;
 pub mod runner;
@@ -52,6 +53,7 @@ pub mod viewer;
 pub use approach::Approach;
 pub use metrics::{ComparisonSummary, TraceComparison};
 pub use observe::{run_observed, run_observed_with};
+pub use oracle::{Divergence, ObjectiveVerdict, Oracle, ReplayError, ReplayVerdict};
 pub use report::{render_markdown, Scenario, ScenarioBuilder, TraceSelection};
 pub use robustness::{fault_sweep, table_v_robustness, FaultSweepCell, RobustnessRow, SeedStat};
 pub use runner::ExperimentRunner;

@@ -94,7 +94,7 @@ impl TraceComparison {
             // ecas-lint: allow(panic-safety, reason = "documented # Panics contract: the Youtube baseline is a hard precondition of every comparison")
             panic!("the Youtube baseline must be included");
         };
-        let e_ref = baseline.total_energy;
+        let e_ref = baseline.total_energy();
         let q_ref = baseline.mean_qoe.value();
         let extra_ref = (e_ref.value() - base_energy.value()).max(1e-9);
 
@@ -102,7 +102,7 @@ impl TraceComparison {
             .iter()
             .zip(results)
             .map(|(a, r)| {
-                let energy = r.total_energy;
+                let energy = r.total_energy();
                 let extra = (energy.value() - base_energy.value()).max(0.0);
                 ApproachMetrics {
                     approach: *a,

@@ -275,7 +275,7 @@ pub fn fault_sweep_with(
                 mean_qoe,
                 qoe_degradation: baseline_qoe.get(ai).copied().unwrap_or(mean_qoe) - mean_qoe,
                 mean_energy: Joules::new(
-                    results.iter().map(|r| r.total_energy.value()).sum::<f64>() / n,
+                    results.iter().map(|r| r.total_energy().value()).sum::<f64>() / n,
                 ),
                 mean_rebuffer: Seconds::new(
                     results.iter().map(|r| r.total_rebuffer.value()).sum::<f64>() / n,

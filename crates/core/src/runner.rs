@@ -138,7 +138,7 @@ impl ExperimentRunner {
     #[must_use]
     pub fn base_energy(&self, session: &SessionTrace) -> Joules {
         let mut lowest = FixedLevel::new(LevelIndex::new(0));
-        self.simulator.run(session, &mut lowest).total_energy
+        self.simulator.run(session, &mut lowest).total_energy()
     }
 }
 
@@ -225,7 +225,7 @@ mod tests {
         for a in Approach::paper_set() {
             let r = runner.run(&s, &a);
             assert!(
-                r.total_energy >= base,
+                r.total_energy() >= base,
                 "{} used less than base energy",
                 a.label()
             );

@@ -218,7 +218,7 @@ struct CachedEntry {
 }
 
 enum Lookup {
-    Hit(CachedEntry),
+    Hit(Box<CachedEntry>),
     Absent,
     Corrupt,
 }
@@ -336,7 +336,7 @@ impl SweepEngine {
                 let (base, rows) = chunk.split_first()?;
                 Some(TraceComparison::from_results(
                     session.meta().name.clone(),
-                    base.total_energy,
+                    base.total_energy(),
                     approaches,
                     rows,
                 ))
@@ -356,7 +356,7 @@ impl SweepEngine {
         self.execute(std::slice::from_ref(&job), policy)
             .into_iter()
             .next()
-            .map(|r| r.total_energy)
+            .map(|r| r.total_energy())
             .unwrap_or_else(|| self.runner.base_energy(session))
     }
 
@@ -400,6 +400,7 @@ impl SweepEngine {
         if let Some((dir, key)) = &cache {
             match self.load(dir, key, &job, true) {
                 Lookup::Hit(entry) => {
+                    let entry = *entry;
                     if let (Some(log), Some(probe)) = (entry.log, entry.probe_jsonl) {
                         self.note_hit();
                         fs::write(events_path, probe)?;
@@ -629,7 +630,8 @@ impl SweepEngine {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Absent,
             Err(_) => return Lookup::Corrupt,
         };
-        parse_entry(&text, key, job, observed).map_or(Lookup::Corrupt, Lookup::Hit)
+        parse_entry(&text, key, job, observed)
+            .map_or(Lookup::Corrupt, |entry| Lookup::Hit(Box::new(entry)))
     }
 
     /// Writes an entry via a temp file + rename so a concurrent reader

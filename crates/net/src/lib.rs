@@ -218,17 +218,16 @@ impl BandwidthEstimator for SlidingPercentile {
     }
 
     fn estimate(&self) -> Option<Mbps> {
-        if self.samples.is_empty() {
-            return None;
-        }
         let mut sorted: Vec<f64> = self.samples.iter().copied().collect();
         ecas_types::float::total_sort(&mut sorted);
-        // Nearest-rank from below: rounding the rank up could report a
-        // value *above* the requested percentile, which for a conservative
+        // Nearest-rank from below (the workspace-wide convention from
+        // `ecas_types::float`): rounding the rank up could report a value
+        // *above* the requested percentile, which for a conservative
         // estimator means overshooting the link (e.g. p25 of 4 samples
         // must pick index 0, not index 1).
-        let rank = (self.percentile * (sorted.len() - 1) as f64).floor() as usize;
-        Some(Mbps::new(sorted[rank]))
+        ecas_types::float::nearest_rank(sorted.len(), self.percentile)
+            .and_then(|rank| sorted.get(rank))
+            .map(|&v| Mbps::new(v))
     }
 
     fn reset(&mut self) {

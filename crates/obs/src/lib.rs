@@ -93,6 +93,20 @@ pub mod counters {
     pub const SWEEP_CACHE_CORRUPT: &str = "sweep/cache_corrupt";
     /// A computed result could not be persisted to the cache.
     pub const SWEEP_CACHE_WRITE_ERROR: &str = "sweep/cache_write_error";
+
+    /// A session replay (see `ecas-core`'s `oracle` module) matched the
+    /// simulator's result field-for-field.
+    pub const ORACLE_REPLAY_PASS: &str = "oracle/replay_pass";
+    /// A session replay diverged from the simulator's result.
+    pub const ORACLE_REPLAY_FAIL: &str = "oracle/replay_fail";
+    /// A replay check was skipped because no event log was recorded.
+    pub const ORACLE_REPLAY_SKIP: &str = "oracle/replay_skip";
+    /// A differential check confirmed the online objective never beats
+    /// the shortest-path optimal.
+    pub const ORACLE_OBJECTIVE_PASS: &str = "oracle/objective_pass";
+    /// A differential check found an online objective below the optimal
+    /// — an optimality violation in the planner or the objective.
+    pub const ORACLE_OBJECTIVE_FAIL: &str = "oracle/objective_fail";
 }
 pub use metrics::{
     HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SpanSnapshot, DEFAULT_BUCKETS,

@@ -32,21 +32,19 @@ pub fn worst(per_task: &[f64]) -> Option<f64> {
     ecas_types::float::total_min(per_task.iter().copied())
 }
 
-/// The `p`-quantile (0 ≤ p ≤ 1) of per-task QoE.
+/// The `p`-quantile (0 ≤ p ≤ 1) of per-task QoE, using the workspace's
+/// nearest-rank-from-below convention
+/// ([`ecas_types::float::nearest_rank`], shared with
+/// `ecas_net::SlidingPercentile`).
 ///
 /// # Panics
 ///
 /// Panics if `p` is outside `[0, 1]`.
 #[must_use]
 pub fn percentile(per_task: &[f64], p: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
-    if per_task.is_empty() {
-        return None;
-    }
     let mut sorted = per_task.to_vec();
     ecas_types::float::total_sort(&mut sorted);
-    let idx = ((p * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
-    Some(sorted[idx])
+    ecas_types::float::nearest_rank(sorted.len(), p).and_then(|idx| sorted.get(idx).copied())
 }
 
 /// Exponentially recency-weighted mean: task `i` of `n` carries weight
@@ -124,6 +122,18 @@ mod tests {
     fn percentile_extremes() {
         assert_eq!(percentile(&TASKS, 0.0), Some(1.0));
         assert_eq!(percentile(&TASKS, 1.0), Some(4.0));
+    }
+
+    /// Regression: this module used to round the rank, reporting 2.0 for
+    /// p25 of [1, 2, 3, 4] while `ecas_net::SlidingPercentile` (nearest
+    /// rank from below) reported 1.0 for the same request. Both now share
+    /// `ecas_types::float::nearest_rank`.
+    #[test]
+    fn percentile_uses_nearest_rank_from_below() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.25), Some(1.0));
+        assert_eq!(percentile(&xs, 0.5), Some(2.0));
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 0.25), Some(1.0));
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! let sim = Simulator::paper(BitrateLadder::evaluation());
 //! let mut controller = FixedLevel::highest();
 //! let result = sim.run(&session, &mut controller);
-//! assert!(result.total_energy.value() > 0.0);
+//! assert!(result.total_energy().value() > 0.0);
 //! assert!((result.played.value() - session.meta().video_length.value()).abs() < 1e-6);
 //! ```
 

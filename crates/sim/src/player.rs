@@ -17,7 +17,10 @@ use crate::fault::{FaultPlan, FaultSpec};
 use crate::result::{EnergyBreakdown, SessionResult, TaskRecord};
 
 /// Floor applied to trace throughput so downloads always terminate.
-const MIN_THROUGHPUT_MBPS: f64 = 0.01;
+///
+/// Public so the replay oracle (`ecas-core::oracle`) can re-derive the
+/// effective link rate the download loop actually used.
+pub const MIN_THROUGHPUT_MBPS: f64 = 0.01;
 
 /// Deferral waits shorter than this are pointless (the re-decide loop
 /// would spin); a deferring controller with less buffer slack than the
@@ -55,14 +58,21 @@ struct PlayState<'p> {
     tau: f64,
     /// Chosen bitrate (Mbps value) per downloaded segment, for decode power.
     bitrates: Vec<f64>,
-    /// Event log, populated when the caller asked for one.
-    events: Option<EventLog>,
+    /// Event log borrowed from the caller, when one was asked for. A
+    /// borrow (not an owned `Option<EventLog>`) so logging entry points
+    /// cannot lose the log and silently hand back an empty one.
+    events: Option<&'p mut EventLog>,
     /// Timestamp of the latest logged event, for monotonic late closes.
     last_event_at: f64,
 }
 
 impl<'p> PlayState<'p> {
-    fn new(video_len: f64, tau: f64, probe: &'p dyn Probe) -> Self {
+    fn new(
+        video_len: f64,
+        tau: f64,
+        probe: &'p dyn Probe,
+        events: Option<&'p mut EventLog>,
+    ) -> Self {
         Self {
             probe,
             playing: false,
@@ -77,7 +87,7 @@ impl<'p> PlayState<'p> {
             video_len,
             tau,
             bitrates: Vec::new(),
-            events: None,
+            events,
             last_event_at: 0.0,
         }
     }
@@ -89,7 +99,7 @@ impl<'p> PlayState<'p> {
             let value = serde_json::to_value(&event).expect("session event serializes");
             self.probe.emit(&value);
         }
-        if let Some(log) = self.events.as_mut() {
+        if let Some(log) = self.events.as_deref_mut() {
             log.push(event);
         }
     }
@@ -176,6 +186,12 @@ impl Simulator {
     #[must_use]
     pub fn faults(&self) -> Option<&FaultSpec> {
         self.faults.as_ref()
+    }
+
+    /// The variable-bitrate segment-size table in effect, if any.
+    #[must_use]
+    pub fn segment_sizes(&self) -> Option<&SegmentSizes> {
+        self.segment_sizes.as_ref()
     }
 
     /// The paper's setup: τ = 2 s, B = 30 s, calibrated power and QoE
@@ -300,19 +316,23 @@ impl Simulator {
         session: &SessionTrace,
         controller: &mut dyn BitrateController,
     ) -> SessionResult {
-        self.run_inner(session, controller, false, &NULL_PROBE).0
+        self.run_inner(session, controller, None, &NULL_PROBE)
     }
 
     /// Like [`Self::run`] but also records a timestamped [`EventLog`] of
     /// the whole session (decisions, downloads, stalls, idle waits).
+    ///
+    /// The log is owned by this method and handed to the run by mutable
+    /// borrow, so a logging run can never come back without its log.
     #[must_use]
     pub fn run_logged(
         &self,
         session: &SessionTrace,
         controller: &mut dyn BitrateController,
     ) -> (SessionResult, EventLog) {
-        let (result, log) = self.run_inner(session, controller, true, &NULL_PROBE);
-        (result, log.unwrap_or_default())
+        let mut log = EventLog::new();
+        let result = self.run_inner(session, controller, Some(&mut log), &NULL_PROBE);
+        (result, log)
     }
 
     /// Like [`Self::run`] but streams instrumentation into `probe`:
@@ -327,7 +347,7 @@ impl Simulator {
         controller: &mut dyn BitrateController,
         probe: &dyn Probe,
     ) -> SessionResult {
-        self.run_inner(session, controller, false, probe).0
+        self.run_inner(session, controller, None, probe)
     }
 
     /// [`Self::run_logged`] and [`Self::run_with_probe`] combined.
@@ -338,17 +358,18 @@ impl Simulator {
         controller: &mut dyn BitrateController,
         probe: &dyn Probe,
     ) -> (SessionResult, EventLog) {
-        let (result, log) = self.run_inner(session, controller, true, probe);
-        (result, log.unwrap_or_default())
+        let mut log = EventLog::new();
+        let result = self.run_inner(session, controller, Some(&mut log), probe);
+        (result, log)
     }
 
     fn run_inner(
         &self,
         session: &SessionTrace,
         controller: &mut dyn BitrateController,
-        log_events: bool,
+        events: Option<&mut EventLog>,
         probe: &dyn Probe,
-    ) -> (SessionResult, Option<EventLog>) {
+    ) -> SessionResult {
         let tau = self.config.segment_duration.value();
         let video_len = session.meta().video_length.value();
         let n_segments = (video_len / tau).ceil() as usize;
@@ -361,10 +382,7 @@ impl Simulator {
         let signal = session.signal();
         let accel = session.accel().as_slice();
 
-        let mut state = PlayState::new(video_len, tau, probe);
-        if log_events {
-            state.events = Some(EventLog::new());
-        }
+        let mut state = PlayState::new(video_len, tau, probe, events);
         let mut estimator = VibrationEstimator::new();
         let mut accel_cursor = 0usize;
 
@@ -750,10 +768,16 @@ impl Simulator {
 
         close_outage(&mut state, &mut open_outage, t);
 
-        // Drain the remaining buffer.
+        // Drain the remaining buffer. A video shorter than the startup
+        // threshold never starts playback inside the download loop; its
+        // first frame shows here, and the log must say so.
         if !state.playing {
             state.playing = true;
             state.started_at = Some(t);
+            let at = t.max(state.last_event_at);
+            state.log(SessionEvent::PlaybackStart {
+                at: Seconds::new(at),
+            });
         }
         while !state.finished && state.buffer > 1e-12 {
             let dt = state.buffer;
@@ -789,10 +813,9 @@ impl Simulator {
             }
         }
 
-        let result = SessionResult {
+        SessionResult {
             controller: controller.name(),
             trace: session.meta().name.clone(),
-            total_energy: energy.total(),
             energy,
             mean_qoe,
             total_rebuffer: Seconds::new(state.stall_total),
@@ -807,8 +830,7 @@ impl Simulator {
             outage_time: Seconds::new(outage_time),
             wasted_energy: Joules::new(wasted_energy_total),
             tasks,
-        };
-        (result, state.events.take())
+        }
     }
 }
 
@@ -849,7 +871,7 @@ mod tests {
         let s = session(Context::Walking, 60.0, 2);
         let r = sim().run(&s, &mut FixedLevel::highest());
         let sum = r.energy.screen + r.energy.decode + r.energy.radio + r.energy.tail;
-        assert!((sum.value() - r.total_energy.value()).abs() < 1e-9);
+        assert!((sum.value() - r.total_energy().value()).abs() < 1e-9);
         assert!(r.energy.screen.value() > 0.0);
         assert!(r.energy.decode.value() > 0.0);
         assert!(r.energy.radio.value() > 0.0);
@@ -860,7 +882,7 @@ mod tests {
         let s = session(Context::MovingVehicle, 120.0, 3);
         let high = sim().run(&s, &mut FixedLevel::highest());
         let low = sim().run(&s, &mut FixedLevel::new(LevelIndex::new(0)));
-        assert!(low.total_energy < high.total_energy);
+        assert!(low.total_energy() < high.total_energy());
         assert!(low.downloaded < high.downloaded);
         // And lower QoE in a quiet-ish setting.
         assert!(low.mean_qoe < high.mean_qoe);
@@ -965,6 +987,26 @@ mod tests {
             r.startup_delay,
             r.total_rebuffer
         );
+    }
+
+    /// Regression: a video shorter than the startup threshold only starts
+    /// playing in the post-download drain, which used to flip
+    /// `state.playing` without logging `PlaybackStart` — the replay
+    /// oracle then saw a session that allegedly never started.
+    #[test]
+    fn short_video_still_logs_playback_start() {
+        // 2 s video = 1 segment < 4 s startup threshold.
+        let s = session(Context::QuietRoom, 2.0, 14);
+        let (r, log) = sim().run_logged(&s, &mut FixedLevel::highest());
+        let starts: Vec<_> = log
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::PlaybackStart { .. }))
+            .collect();
+        assert_eq!(starts.len(), 1, "timeline:\n{}", log.render_timeline());
+        assert_eq!(starts[0].at(), r.startup_delay);
+        assert!(log
+            .iter()
+            .any(|e| matches!(e, SessionEvent::PlaybackEnd { .. })));
     }
 
     #[test]

@@ -66,8 +66,6 @@ pub struct SessionResult {
     pub tasks: Vec<TaskRecord>,
     /// Energy decomposition.
     pub energy: EnergyBreakdown,
-    /// Total energy (equals `energy.total()`).
-    pub total_energy: Joules,
     /// Mean per-task QoE (Eq. 1 averaged over tasks).
     pub mean_qoe: QoeScore,
     /// Total stall time across the session.
@@ -103,6 +101,18 @@ pub struct SessionResult {
 }
 
 impl SessionResult {
+    /// Total session energy.
+    ///
+    /// A method over [`EnergyBreakdown::total`] rather than a stored
+    /// field: the old denormalized `total_energy` field could drift from
+    /// the breakdown it claimed to summarize. Serialized forms that
+    /// still carry the legacy field deserialize fine (unknown fields are
+    /// ignored) and the total is recomputed from the breakdown.
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.energy.total()
+    }
+
     /// Mean bitrate over tasks (unweighted).
     ///
     /// # Panics
@@ -195,6 +205,31 @@ mod tests {
     #[test]
     fn default_breakdown_is_zero() {
         assert_eq!(EnergyBreakdown::default().total(), Joules::zero());
+    }
+
+    /// Regression: `total_energy` used to be a stored (denormalized)
+    /// field. Legacy JSON that still carries it must deserialize, and the
+    /// recomputed total must come from the breakdown — even when the
+    /// legacy field had drifted.
+    #[test]
+    fn legacy_json_with_total_energy_field_still_deserializes() {
+        let json = r#"{
+            "controller": "fixed",
+            "trace": "legacy",
+            "tasks": [],
+            "energy": { "screen": 10.0, "decode": 2.0, "radio": 5.0, "tail": 1.0 },
+            "total_energy": 999.0,
+            "mean_qoe": 3.5,
+            "total_rebuffer": 0.0,
+            "startup_delay": 1.0,
+            "switches": 0,
+            "played": 60.0,
+            "wall_time": 61.0,
+            "downloaded": 12.0
+        }"#;
+        let r: SessionResult = serde_json::from_str(json).expect("legacy JSON deserializes");
+        assert_eq!(r.total_energy(), Joules::new(18.0));
+        assert_eq!(r.energy.total(), r.total_energy());
     }
 }
 

@@ -137,7 +137,7 @@ fn fault_sessions_always_terminate_across_intensities() {
             (r.played.value() - 60.0).abs() < 1e-6,
             "intensity {tenths}/10 lost content"
         );
-        assert!(r.total_energy.value().is_finite());
+        assert!(r.total_energy().value().is_finite());
         assert!(r.wasted_energy.value() <= r.energy.radio.value() + 1e-9);
     }
 }

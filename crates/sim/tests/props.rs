@@ -54,12 +54,12 @@ proptest! {
         );
 
         // Energy is positive and the breakdown sums.
-        prop_assert!(result.total_energy.value() > 0.0);
+        prop_assert!(result.total_energy().value() > 0.0);
         let sum = result.energy.screen.value()
             + result.energy.decode.value()
             + result.energy.radio.value()
             + result.energy.tail.value();
-        prop_assert!((sum - result.total_energy.value()).abs() < 1e-6);
+        prop_assert!((sum - result.total_energy().value()).abs() < 1e-6);
 
         // Task timeline is sequential and sane.
         for w in result.tasks.windows(2) {
@@ -98,10 +98,10 @@ proptest! {
         let high = sim.run(&session, &mut FixedLevel::new(LevelIndex::new(l2)));
         prop_assert!(low.downloaded < high.downloaded);
         prop_assert!(
-            low.total_energy.value() <= high.total_energy.value() + 1e-6,
+            low.total_energy().value() <= high.total_energy().value() + 1e-6,
             "E({l1}) = {} > E({l2}) = {}",
-            low.total_energy.value(),
-            high.total_energy.value()
+            low.total_energy().value(),
+            high.total_energy().value()
         );
     }
 }

@@ -58,7 +58,7 @@ fn zero_throughput_sample_is_floored_not_fatal() {
     let sim = Simulator::paper(BitrateLadder::evaluation());
     let r = sim.run(&s, &mut FixedLevel::new(LevelIndex::new(3)));
     assert!((r.played.value() - 20.0).abs() < 1e-6);
-    assert!(r.total_energy.value().is_finite());
+    assert!(r.total_energy().value().is_finite());
 }
 
 #[test]

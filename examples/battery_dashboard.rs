@@ -68,14 +68,14 @@ fn main() {
         println!(
             "  {:<8} {:6.0} J = {:4.1}% of the battery  (QoE {:.2})",
             r.controller,
-            r.total_energy.value(),
-            100.0 * battery.fraction_of_capacity(r.total_energy),
+            r.total_energy().value(),
+            100.0 * battery.fraction_of_capacity(r.total_energy()),
             r.mean_qoe.value()
         );
     }
-    let saved = youtube.total_energy.saturating_sub(ours.total_energy);
+    let saved = youtube.total_energy().saturating_sub(ours.total_energy());
     let mut after_ride = Battery::nexus_5x();
-    after_ride.drain(ours.total_energy);
+    after_ride.drain(ours.total_energy());
     println!(
         "\ncontext awareness saved {:.0} J ({:.1}% of the battery) on this ride;",
         saved.value(),

@@ -58,9 +58,9 @@ fn main() {
     println!();
     println!(
         "energy: ours {:.0} J vs youtube {:.0} J ({:.0}% saving)",
-        ours.total_energy.value(),
-        youtube.total_energy.value(),
-        100.0 * (1.0 - ours.total_energy.value() / youtube.total_energy.value())
+        ours.total_energy().value(),
+        youtube.total_energy().value(),
+        100.0 * (1.0 - ours.total_energy().value() / youtube.total_energy().value())
     );
     println!(
         "QoE:    ours {:.2} vs youtube {:.2} ({:.1}% degradation)",

@@ -67,12 +67,12 @@ fn main() {
     println!();
     println!(
         "trace1 with fitted models: {:.0} J, QoE {:.2}",
-        with_fitted.total_energy.value(),
+        with_fitted.total_energy().value(),
         with_fitted.mean_qoe.value()
     );
     println!(
         "trace1 with ground truth:  {:.0} J, QoE {:.2}",
-        with_truth.total_energy.value(),
+        with_truth.total_energy().value(),
         with_truth.mean_qoe.value()
     );
     println!("(the noisy-panel fit is close enough that decisions barely change)");

@@ -31,11 +31,11 @@ fn main() {
         println!(
             "{:>5.2} {:>12.0} {:>8.2} {:>12.1}",
             eta,
-            r.total_energy.value(),
+            r.total_energy().value(),
             r.mean_qoe.value(),
             r.total_rebuffer.value()
         );
-        front.push((eta, r.total_energy.value(), r.mean_qoe.value()));
+        front.push((eta, r.total_energy().value(), r.mean_qoe.value()));
     }
 
     // Report the knee: the point with the best QoE-per-joule marginal

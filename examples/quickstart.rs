@@ -44,14 +44,14 @@ fn main() {
         println!(
             "{:<8}  energy {:7.1} J   mean QoE {:.2}   rebuffer {:5.1} s   switches {:3}   mean bitrate {:.2} Mbps",
             r.controller,
-            r.total_energy.value(),
+            r.total_energy().value(),
             r.mean_qoe.value(),
             r.total_rebuffer.value(),
             r.switches,
             r.mean_bitrate().value(),
         );
     }
-    let saving = 1.0 - ours.total_energy.value() / youtube.total_energy.value();
+    let saving = 1.0 - ours.total_energy().value() / youtube.total_energy().value();
     let degradation = 1.0 - ours.mean_qoe.value() / youtube.mean_qoe.value();
     println!();
     println!(

@@ -89,7 +89,7 @@ fn main() {
         println!(
             "{:<8} energy {:7.1} J   QoE {:.2}   rebuffer {:5.1} s   mean bitrate {:.2} Mbps",
             approach.label(),
-            r.total_energy.value(),
+            r.total_energy().value(),
             r.mean_qoe.value(),
             r.total_rebuffer.value(),
             r.mean_bitrate().value(),

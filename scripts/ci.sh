@@ -86,4 +86,18 @@ if ! grep -Eq 'total_retries=[1-9][0-9]*' "$obs_dir/fault_sweep_1.txt"; then
     exit 1
 fi
 
+echo "==> smoke: replay oracle (determinism + zero divergences)"
+./target/release/oracle_fuzz --smoke --seed 0xECA5 > "$obs_dir/oracle_fuzz_1.txt"
+./target/release/oracle_fuzz --smoke --seed 0xECA5 > "$obs_dir/oracle_fuzz_2.txt"
+if ! cmp -s "$obs_dir/oracle_fuzz_1.txt" "$obs_dir/oracle_fuzz_2.txt"; then
+    echo "oracle fuzz is not byte-identical across runs" >&2
+    diff "$obs_dir/oracle_fuzz_1.txt" "$obs_dir/oracle_fuzz_2.txt" >&2 || true
+    exit 1
+fi
+if ! grep -Eq 'replay_checks=[1-9][0-9]* objective_checks=[1-9][0-9]* failures=0' "$obs_dir/oracle_fuzz_1.txt"; then
+    echo "oracle smoke found divergences (or ran zero checks)" >&2
+    cat "$obs_dir/oracle_fuzz_1.txt" >&2
+    exit 1
+fi
+
 echo "CI OK"

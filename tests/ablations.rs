@@ -17,10 +17,10 @@ fn eta_sweep_traces_a_pareto_front() {
         let runner = ExperimentRunner::paper_with_eta(eta);
         let r = runner.run(&session, &Approach::Ours);
         assert!(
-            r.total_energy.value() <= prev_energy + 1e-6,
+            r.total_energy().value() <= prev_energy + 1e-6,
             "energy not non-increasing at eta {eta}"
         );
-        prev_energy = r.total_energy.value();
+        prev_energy = r.total_energy().value();
         qoes.push(r.mean_qoe.value());
     }
     // QoE falls from the eta=0 end to the eta=1 end.
@@ -34,8 +34,8 @@ fn optimal_eta_sweep_is_monotone_in_objective_components() {
     for eta in [0.0, 0.5, 1.0] {
         let runner = ExperimentRunner::paper_with_eta(eta);
         let r = runner.run(&session, &Approach::Optimal);
-        assert!(r.total_energy.value() <= prev_energy + 1e-6);
-        prev_energy = r.total_energy.value();
+        assert!(r.total_energy().value() <= prev_energy + 1e-6);
+        prev_energy = r.total_energy().value();
     }
 }
 
@@ -91,7 +91,7 @@ fn adaptive_eta_is_weakly_better_than_fixed_on_mixed_traces() {
         let session = spec.generate();
         let adaptive = sim.run(&session, &mut AdaptiveEta::new());
         let fixed = sim.run(&session, &mut Online::paper());
-        let worse_energy = adaptive.total_energy.value() > fixed.total_energy.value() * 1.02;
+        let worse_energy = adaptive.total_energy().value() > fixed.total_energy().value() * 1.02;
         let worse_qoe = adaptive.mean_qoe.value() < fixed.mean_qoe.value() - 0.05;
         assert!(
             !(worse_energy && worse_qoe),
@@ -99,7 +99,7 @@ fn adaptive_eta_is_weakly_better_than_fixed_on_mixed_traces() {
             spec.id
         );
         if adaptive.mean_qoe.value() > fixed.mean_qoe.value() + 0.01
-            || adaptive.total_energy.value() < fixed.total_energy.value() * 0.99
+            || adaptive.total_energy().value() < fixed.total_energy().value() * 0.99
         {
             adaptive_better_somewhere = true;
         }
@@ -111,7 +111,7 @@ fn adaptive_eta_is_weakly_better_than_fixed_on_mixed_traces() {
 fn all_extension_approaches_sit_between_youtube_and_optimal_energy() {
     let session = EvalTraceSpec::table_v()[2].generate();
     let runner = ExperimentRunner::paper();
-    let youtube = runner.run(&session, &Approach::Youtube).total_energy;
+    let youtube = runner.run(&session, &Approach::Youtube).total_energy();
     for approach in [
         Approach::Bola,
         Approach::Mpc,
@@ -121,7 +121,7 @@ fn all_extension_approaches_sit_between_youtube_and_optimal_energy() {
     ] {
         let r = runner.run(&session, &approach);
         assert!(
-            r.total_energy <= youtube,
+            r.total_energy() <= youtube,
             "{} used more than Youtube",
             approach.label()
         );

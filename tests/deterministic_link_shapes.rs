@@ -65,7 +65,7 @@ fn deterministic_link_reproduces_paper_savings_bands() {
     let youtube = runner.run(&session, &Approach::Youtube);
     let saving = |a: Approach| {
         let r = runner.run(&session, &a);
-        1.0 - r.total_energy.value() / youtube.total_energy.value()
+        1.0 - r.total_energy().value() / youtube.total_energy().value()
     };
 
     let festive = saving(Approach::Festive);

@@ -35,8 +35,8 @@ fn fitted_models_drive_the_online_algorithm() {
 
     // The fit is close enough that behaviour is comparable: within 15% on
     // energy and 0.25 MOS on QoE.
-    let energy_gap = (with_fitted.total_energy.value() - with_truth.total_energy.value()).abs()
-        / with_truth.total_energy.value();
+    let energy_gap = (with_fitted.total_energy().value() - with_truth.total_energy().value()).abs()
+        / with_truth.total_energy().value();
     assert!(energy_gap < 0.15, "energy gap {energy_gap}");
     let qoe_gap = (with_fitted.mean_qoe.value() - with_truth.mean_qoe.value()).abs();
     assert!(qoe_gap < 0.25, "QoE gap {qoe_gap}");
@@ -131,7 +131,7 @@ fn all_approaches_complete_all_table_v_traces() {
                 approach.label(),
                 spec.id
             );
-            assert!(r.total_energy.value() > 0.0);
+            assert!(r.total_energy().value() > 0.0);
             assert!((0.0..=5.0).contains(&r.mean_qoe.value()));
         }
     }

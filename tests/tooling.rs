@@ -49,8 +49,8 @@ fn battery_and_abandonment_compose_with_the_runner() {
 
     // Battery framing.
     let mut battery = Battery::nexus_5x();
-    let drained = battery.drain(result.total_energy);
-    assert_eq!(drained, result.total_energy);
+    let drained = battery.drain(result.total_energy());
+    assert_eq!(drained, result.total_energy());
     assert!(
         battery.state_of_charge() > 0.9,
         "one session is a few percent"
