@@ -37,6 +37,20 @@ pub struct Graph {
     adj: Vec<Vec<(usize, f64)>>,
 }
 
+/// Deterministic work counters of one Dijkstra run (see
+/// [`Graph::dijkstra_with_stats`]). These are the solver's cost measure
+/// in the performance-observability layer: comparable across hosts,
+/// unlike wall-clock timings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DijkstraStats {
+    /// Labels settled: heap pops that carried the node's final distance.
+    pub expanded: u64,
+    /// Stale heap entries skipped without expansion.
+    pub pruned: u64,
+    /// Edge relaxations that improved a tentative distance.
+    pub relaxed: u64,
+}
+
 impl Graph {
     /// Creates a graph with `n` nodes and no edges.
     #[must_use]
@@ -85,28 +99,47 @@ impl Graph {
     /// weight (Dijkstra's precondition).
     #[must_use]
     pub fn dijkstra(&self, src: usize) -> (Vec<f64>, Vec<Option<usize>>) {
+        let (dist, prev, _) = self.dijkstra_with_stats(src);
+        (dist, prev)
+    }
+
+    /// [`Graph::dijkstra`] together with its deterministic work counters
+    /// ([`DijkstraStats`]): labels expanded (non-stale heap pops), labels
+    /// pruned (stale heap entries skipped) and improving edge
+    /// relaxations. The counters depend only on the graph, so same-input
+    /// runs report identical work.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same preconditions as [`Graph::dijkstra`].
+    #[must_use]
+    pub fn dijkstra_with_stats(&self, src: usize) -> (Vec<f64>, Vec<Option<usize>>, DijkstraStats) {
         assert!(src < self.adj.len(), "source {src} out of range");
         let n = self.adj.len();
         let mut dist = vec![f64::INFINITY; n];
         let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut stats = DijkstraStats::default();
         let mut heap: BinaryHeap<Reverse<(TotalF64, usize)>> = BinaryHeap::new();
         dist[src] = 0.0;
         heap.push(Reverse((TotalF64(0.0), src)));
         while let Some(Reverse((TotalF64(d), u))) = heap.pop() {
             if d > dist[u] {
+                stats.pruned += 1;
                 continue;
             }
+            stats.expanded += 1;
             for &(v, w) in &self.adj[u] {
                 assert!(w >= 0.0, "Dijkstra requires non-negative weights, got {w}");
                 let nd = d + w;
                 if nd < dist[v] {
+                    stats.relaxed += 1;
                     dist[v] = nd;
                     prev[v] = Some(u);
                     heap.push(Reverse((TotalF64(nd), v)));
                 }
             }
         }
-        (dist, prev)
+        (dist, prev, stats)
     }
 
     /// Shortest `src → dst` path via Dijkstra: `(cost, nodes)`, or `None`
@@ -115,6 +148,19 @@ impl Graph {
     pub fn dijkstra_path(&self, src: usize, dst: usize) -> Option<(f64, Vec<usize>)> {
         let (dist, prev) = self.dijkstra(src);
         reconstruct(&dist, &prev, src, dst)
+    }
+
+    /// [`Graph::dijkstra_path`] with the run's [`DijkstraStats`]. The
+    /// stats describe the whole single-source run and are returned even
+    /// when `dst` is unreachable.
+    #[must_use]
+    pub fn dijkstra_path_with_stats(
+        &self,
+        src: usize,
+        dst: usize,
+    ) -> (Option<(f64, Vec<usize>)>, DijkstraStats) {
+        let (dist, prev, stats) = self.dijkstra_with_stats(src);
+        (reconstruct(&dist, &prev, src, dst), stats)
     }
 
     /// Single-source shortest paths on a DAG whose nodes are already in

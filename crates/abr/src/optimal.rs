@@ -17,6 +17,7 @@
 //! paths have the same edge count) makes them non-negative; a
 //! topological-order dynamic program cross-checks the result.
 
+use ecas_obs::{counters, Probe, NULL_PROBE};
 use ecas_power::task::{TaskConditions, TaskEnergyModel};
 use ecas_qoe::model::QoeModel;
 use ecas_sensors::vibration::vibration_level_in_window;
@@ -190,6 +191,20 @@ impl OptimalPlanner {
     /// consistency failure).
     #[must_use]
     pub fn plan(&self, session: &SessionTrace) -> OptimalPlan {
+        self.plan_with_probe(session, &NULL_PROBE)
+    }
+
+    /// [`OptimalPlanner::plan`] reporting the solver's deterministic work
+    /// counters (`abr/labels_expanded`, `abr/labels_pruned`,
+    /// `abr/edges_relaxed`) into `probe`. The counters depend only on the
+    /// session and configuration, so same-input runs report identical
+    /// totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`OptimalPlanner::plan`].
+    #[must_use]
+    pub fn plan_with_probe(&self, session: &SessionTrace, probe: &dyn Probe) -> OptimalPlan {
         let contexts = self.task_contexts(session);
         let n = contexts.len();
         assert!(n > 0, "session shorter than one segment");
@@ -218,8 +233,11 @@ impl OptimalPlanner {
             graph.add_edge(node(n - 1, j), sink, 0.0);
         }
 
-        let (cost_dijkstra, path) = graph
-            .dijkstra_path(0, sink)
+        let (solved, stats) = graph.dijkstra_path_with_stats(0, sink);
+        probe.add(counters::ABR_LABELS_EXPANDED, stats.expanded);
+        probe.add(counters::ABR_LABELS_PRUNED, stats.pruned);
+        probe.add(counters::ABR_EDGES_RELAXED, stats.relaxed);
+        let (cost_dijkstra, path) = solved
             // ecas-lint: allow(panic-safety, reason = "the layered graph built above always connects source to sink")
             .expect("layered graph is connected");
         let (cost_dp, path_dp) = graph
@@ -405,6 +423,24 @@ mod tests {
             mean_level > 10.0,
             "pure-QoE quiet plan sits high, got {mean_level}"
         );
+    }
+
+    #[test]
+    fn plan_with_probe_reports_solver_work() {
+        let s = session(Context::Walking, 40.0, 8);
+        let planner = OptimalPlanner::paper(BitrateLadder::evaluation());
+        let recorder = ecas_obs::MemoryRecorder::new();
+        let plan = planner.plan_with_probe(&s, &recorder);
+        let snapshot = recorder.metrics().snapshot();
+        let expanded = snapshot.counter(counters::ABR_LABELS_EXPANDED).unwrap();
+        let relaxed = snapshot.counter(counters::ABR_EDGES_RELAXED).unwrap();
+        // Every task layer must settle at least one label, and reaching
+        // the sink needs at least one relaxation per settled-path edge.
+        assert!(expanded >= plan.levels.len() as u64);
+        assert!(relaxed >= expanded - 1);
+        assert!(snapshot.counter(counters::ABR_LABELS_PRUNED).is_some());
+        // The probe is observation-only: the plan itself is unchanged.
+        assert_eq!(plan, planner.plan(&s));
     }
 
     #[test]

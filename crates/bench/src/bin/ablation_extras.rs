@@ -19,8 +19,10 @@ fn main() {
         .collect();
     let runner = ExperimentRunner::paper();
     let approaches = Approach::all();
-    let summary =
-        ComparisonSummary::evaluate_with(&runner, &sessions, &approaches, &args.exec_policy());
+    let policy = args.exec_policy();
+    let (summary, stats) =
+        ComparisonSummary::evaluate_with_stats(&runner, &sessions, &approaches, &policy);
+    ecas_bench::report_cache_stats(&policy, &stats);
 
     let mut report = Report::new("Extensions: all implemented approaches over the Table V traces");
     let mut table = Table::new(vec![

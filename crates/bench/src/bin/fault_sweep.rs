@@ -7,7 +7,7 @@
 //! across runs. `--json` / `--markdown` select the output format.
 
 use ecas_bench::{Cli, Report, Table};
-use ecas_core::robustness::fault_sweep_with;
+use ecas_core::robustness::fault_sweep_with_stats;
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::{Approach, ExperimentRunner};
 
@@ -40,14 +40,16 @@ fn main() {
         )
     };
 
-    let cells = fault_sweep_with(
+    let policy = args.exec_policy();
+    let (cells, stats) = fault_sweep_with_stats(
         &runner,
         &sessions,
         &approaches,
         &intensities,
         SWEEP_SEED,
-        &args.exec_policy(),
+        &policy,
     );
+    ecas_bench::report_cache_stats(&policy, &stats);
 
     let mut table = Table::new(vec![
         "intensity",

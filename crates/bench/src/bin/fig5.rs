@@ -19,8 +19,10 @@ fn main() {
         .collect();
     let runner = ExperimentRunner::paper();
     let approaches = Approach::paper_set();
-    let summary =
-        ComparisonSummary::evaluate_with(&runner, &sessions, &approaches, &args.exec_policy());
+    let policy = args.exec_policy();
+    let (summary, stats) =
+        ComparisonSummary::evaluate_with_stats(&runner, &sessions, &approaches, &policy);
+    ecas_bench::report_cache_stats(&policy, &stats);
 
     println!("Fig. 5(a): total energy (J) per trace\n");
     let mut header = vec!["trace".to_string()];

@@ -26,8 +26,10 @@ fn main() {
         Approach::Ours,
         Approach::Optimal,
     ];
-    let summary =
-        ComparisonSummary::evaluate_with(&runner, &sessions, &approaches, &args.exec_policy());
+    let policy = args.exec_policy();
+    let (summary, stats) =
+        ComparisonSummary::evaluate_with_stats(&runner, &sessions, &approaches, &policy);
+    ecas_bench::report_cache_stats(&policy, &stats);
 
     println!("Fig. 7: energy saving / QoE degradation (with components)\n");
     let mut table = Table::new(vec![

@@ -2,7 +2,7 @@
 //! under many seeds and report mean ± std of the Fig. 5/6 metrics.
 
 use ecas_bench::{Cli, Table};
-use ecas_core::robustness::table_v_robustness_with;
+use ecas_core::robustness::table_v_robustness_with_stats;
 use ecas_core::{Approach, ExperimentRunner};
 
 fn main() {
@@ -13,8 +13,10 @@ fn main() {
     let seeds: Vec<u64> = (0..10).collect();
     println!("Table V evaluation across {} trace re-draws\n", seeds.len());
 
-    let rows =
-        table_v_robustness_with(&runner, &Approach::paper_set(), &seeds, &args.exec_policy());
+    let policy = args.exec_policy();
+    let (rows, stats) =
+        table_v_robustness_with_stats(&runner, &Approach::paper_set(), &seeds, &policy);
+    ecas_bench::report_cache_stats(&policy, &stats);
     let mut table = Table::new(vec![
         "approach",
         "whole-phone saving",

@@ -1,9 +1,21 @@
 //! Shared helpers for the table/figure regeneration binaries.
 
+pub mod baseline;
 pub mod cli;
 pub mod render;
 pub mod report;
 
+pub use baseline::{Baseline, HostInfo, HotPath, BENCH_SCHEMA};
 pub use cli::{Args, Cli};
 pub use render::Table;
 pub use report::{Format, Report};
+
+/// Prints the engine's `cache: hits=…` summary line to stderr when
+/// `policy` caches — the uniform cache reporting every grid binary emits
+/// under `--cache-dir`. Stderr keeps it out of the byte-compared stdout
+/// artifacts.
+pub fn report_cache_stats(policy: &ecas_core::ExecPolicy, stats: &ecas_core::CacheStats) {
+    if policy.cache_dir().is_some() {
+        eprintln!("{}", stats.render());
+    }
+}

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::approach::Approach;
 use crate::runner::ExperimentRunner;
-use crate::sweep::{ExecPolicy, SweepEngine};
+use crate::sweep::{CacheStats, ExecPolicy, SweepEngine};
 use ecas_trace::session::SessionTrace;
 
 /// Per-approach metrics on one trace.
@@ -163,7 +163,23 @@ impl ComparisonSummary {
         approaches: &[Approach],
         policy: &ExecPolicy,
     ) -> Self {
-        SweepEngine::new(runner.clone()).comparison(sessions, approaches, policy)
+        Self::evaluate_with_stats(runner, sessions, approaches, policy).0
+    }
+
+    /// [`Self::evaluate_with`] returning the engine's [`CacheStats`] as
+    /// well, so callers running under a cached policy can report cache
+    /// activity (the bench binaries print it to stderr).
+    #[must_use]
+    pub fn evaluate_with_stats(
+        runner: &ExperimentRunner,
+        sessions: &[SessionTrace],
+        approaches: &[Approach],
+        policy: &ExecPolicy,
+    ) -> (Self, CacheStats) {
+        let engine = SweepEngine::new(runner.clone());
+        let summary = engine.comparison(sessions, approaches, policy);
+        let stats = engine.stats();
+        (summary, stats)
     }
 
     /// Mean whole-phone energy saving of `approach` across traces.

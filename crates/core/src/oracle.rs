@@ -47,7 +47,7 @@
 use ecas_abr::{ObjectiveWeights, OptimalPlanner};
 use ecas_obs::{counters, Probe, NULL_PROBE};
 use ecas_power::task::TaskEnergyModel;
-use ecas_sim::player::MIN_THROUGHPUT_MBPS;
+use ecas_sim::radio;
 use ecas_sim::{EnergyBreakdown, EventLog, FaultPlan, SessionEvent, SessionResult, Simulator, TaskRecord};
 use ecas_trace::session::SessionTrace;
 use ecas_types::ids::TaskId;
@@ -626,12 +626,13 @@ impl<'a> Oracle<'a> {
         )
     }
 
-    /// Integrates radio power over `[start, end)` with the simulator's
-    /// exact chunking: a chunk ends at the next network sample time or
-    /// fault transition, whichever comes first. Interior chunk boundaries
-    /// in the simulator's download loop are exactly these times (attempt
-    /// endpoints — completion, abort, timeout — are the window bounds
-    /// themselves), so the sum reproduces the run's accumulation order.
+    /// Integrates radio power over `[start, end)` through the shared
+    /// chunking kernel (`ecas_sim::radio`): a chunk ends at the next
+    /// network sample time or fault transition, whichever comes first.
+    /// Interior chunk boundaries in the simulator's download loop are
+    /// exactly these times (attempt endpoints — completion, abort,
+    /// timeout — are the window bounds themselves), so the sum reproduces
+    /// the run's accumulation order bit-for-bit.
     fn radio_energy_between(
         &self,
         session: &SessionTrace,
@@ -639,51 +640,16 @@ impl<'a> Oracle<'a> {
         start: f64,
         end: f64,
     ) -> Result<f64, ReplayError> {
-        let network = session.network();
-        let signal = session.signal();
-        let power = self.simulator.power();
-        let mut t = start;
-        let mut energy = 0.0_f64;
-        let mut hops = 0usize;
-        while t < end - 1e-12 {
-            hops += 1;
-            if hops > 10_000_000 {
-                return Err(ReplayError::new(
-                    "radio integration did not terminate (degenerate chunking)",
-                ));
-            }
-            let thr = network
-                .throughput_at(Seconds::new(t))
-                .value()
-                .max(MIN_THROUGHPUT_MBPS);
-            let factor = plan.map_or(1.0, |p| p.factor_at(Seconds::new(t)));
-            let next_change = network
-                .index_at_or_before(Seconds::new(t))
-                .and_then(|i| network.as_slice().get(i + 1))
-                .map_or(f64::INFINITY, |s| s.time.value());
-            let next_change = if next_change > t {
-                next_change
-            } else {
-                f64::INFINITY
-            };
-            let next_fault = plan
-                .and_then(|p| p.next_transition_after(Seconds::new(t)))
-                .map_or(f64::INFINITY, Seconds::value);
-            let chunk_end = next_change.min(next_fault).min(end);
-            if chunk_end <= t {
-                return Err(ReplayError::new(format!(
-                    "radio integration chunk failed to advance at t = {t}"
-                )));
-            }
-            let eff = thr * factor;
-            let dt = chunk_end - t;
-            energy += power
-                .radio_power(signal.signal_at(Seconds::new(t)), Mbps::new(eff))
-                .value()
-                * dt;
-            t = chunk_end;
-        }
-        Ok(energy)
+        radio::integrate(
+            session.network(),
+            session.signal(),
+            self.simulator.power(),
+            plan,
+            start,
+            end,
+        )
+        .map(|out| out.energy)
+        .map_err(|e| ReplayError::new(e.to_string()))
     }
 }
 

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use crate::approach::Approach;
 use crate::metrics::ComparisonSummary;
 use crate::runner::ExperimentRunner;
-use crate::sweep::{ExecPolicy, SweepEngine};
+use crate::sweep::{CacheStats, ExecPolicy, SweepEngine};
 
 /// Mean and standard deviation of one metric across seeds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -103,7 +103,25 @@ pub fn table_v_robustness_with(
     seeds: &[u64],
     policy: &ExecPolicy,
 ) -> Vec<RobustnessRow> {
+    table_v_robustness_with_stats(runner, approaches, seeds, policy).0
+}
+
+/// [`table_v_robustness_with`] returning the accumulated [`CacheStats`]
+/// across every seed re-draw (one engine serves the whole run, so the
+/// stats cover all seeds).
+///
+/// # Panics
+///
+/// Panics on the same invalid inputs as [`table_v_robustness`].
+#[must_use]
+pub fn table_v_robustness_with_stats(
+    runner: &ExperimentRunner,
+    approaches: &[Approach],
+    seeds: &[u64],
+    policy: &ExecPolicy,
+) -> (Vec<RobustnessRow>, CacheStats) {
     assert!(!seeds.is_empty(), "at least one seed required");
+    let engine = SweepEngine::new(runner.clone());
     let mut per_seed: Vec<ComparisonSummary> = Vec::with_capacity(seeds.len());
     for &offset in seeds {
         let sessions: Vec<_> = EvalTraceSpec::table_v()
@@ -114,12 +132,10 @@ pub fn table_v_robustness_with(
                 spec.generate()
             })
             .collect();
-        per_seed.push(ComparisonSummary::evaluate_with(
-            runner, &sessions, approaches, policy,
-        ));
+        per_seed.push(engine.comparison(&sessions, approaches, policy));
     }
 
-    approaches
+    let rows = approaches
         .iter()
         .map(|&approach| {
             let collect = |f: &dyn Fn(&ComparisonSummary) -> f64| -> Vec<f64> {
@@ -134,7 +150,8 @@ pub fn table_v_robustness_with(
                 qoe_degradation: SeedStat::of(&collect(&|s| s.mean_qoe_degradation(approach))),
             }
         })
-        .collect()
+        .collect();
+    (rows, engine.stats())
 }
 
 /// One cell of a fault sweep: an approach evaluated under one fault
@@ -231,6 +248,26 @@ pub fn fault_sweep_with(
     seed: u64,
     policy: &ExecPolicy,
 ) -> Vec<FaultSweepCell> {
+    fault_sweep_with_stats(runner, sessions, approaches, intensities, seed, policy).0
+}
+
+/// [`fault_sweep_with`] returning the merged [`CacheStats`] across every
+/// intensity's engine (each intensity runs its own engine because the
+/// fault spec is part of the runner; their stats are folded together with
+/// [`CacheStats::merge`]).
+///
+/// # Panics
+///
+/// Panics on the same invalid inputs as [`fault_sweep`].
+#[must_use]
+pub fn fault_sweep_with_stats(
+    runner: &ExperimentRunner,
+    sessions: &[SessionTrace],
+    approaches: &[Approach],
+    intensities: &[f64],
+    seed: u64,
+    policy: &ExecPolicy,
+) -> (Vec<FaultSweepCell>, CacheStats) {
     assert!(!sessions.is_empty(), "at least one session required");
     assert!(!approaches.is_empty(), "at least one approach required");
     assert!(!intensities.is_empty(), "at least one intensity required");
@@ -247,13 +284,16 @@ pub fn fault_sweep_with(
 
     let mut cells: Vec<FaultSweepCell> = Vec::with_capacity(levels.len() * approaches.len());
     let mut baseline_qoe: Vec<f64> = Vec::new();
+    let mut stats = CacheStats::default();
     for &intensity in &levels {
         let spec = FaultSpec::scaled(intensity, seed);
         let faulty = ExperimentRunner::new(
             runner.simulator().clone().with_faults(spec),
             runner.eta(),
         );
-        let grid = SweepEngine::new(faulty).run_grid(sessions, approaches, policy);
+        let engine = SweepEngine::new(faulty);
+        let grid = engine.run_grid(sessions, approaches, policy);
+        stats.merge(engine.stats());
         for (ai, &approach) in approaches.iter().enumerate() {
             // The grid is sessions-major: approach `ai` occupies every
             // `approaches.len()`-th result starting at offset `ai`.
@@ -292,7 +332,7 @@ pub fn fault_sweep_with(
             });
         }
     }
-    cells
+    (cells, stats)
 }
 
 #[cfg(test)]

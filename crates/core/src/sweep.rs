@@ -30,14 +30,14 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use ecas_obs::{counters, stable_hash, JsonlRecorder, MetricsRegistry};
+use ecas_obs::{counters, perf, stable_hash, JsonlRecorder, MetricsRegistry};
 use ecas_sim::controller::FixedLevel;
 use ecas_sim::events::EventLog;
 use ecas_sim::result::SessionResult;
 use ecas_sim::FaultSpec;
 use ecas_trace::session::SessionTrace;
 use ecas_types::ladder::LevelIndex;
-use ecas_types::units::Joules;
+use ecas_types::units::{Joules, Seconds};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -140,6 +140,16 @@ impl CacheStats {
     #[must_use]
     pub fn all_hits(&self) -> bool {
         self.hits > 0 && self.misses == 0 && self.corrupt == 0
+    }
+
+    /// Folds another engine's activity into this one — used when a sweep
+    /// spans several engines (e.g. one per fault intensity) but should
+    /// report a single cache summary.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.corrupt += other.corrupt;
+        self.write_errors += other.write_errors;
     }
 
     /// One-line render, used by the bench binaries' stderr reporting.
@@ -446,11 +456,26 @@ impl SweepEngine {
     }
 
     fn execute(&self, jobs: &[Job<'_>], policy: &ExecPolicy) -> Vec<SessionResult> {
-        match policy {
+        // The engine is a sanctioned wall-clock seam (see ecas-obs's perf
+        // module): when a registry is attached, each grid execution
+        // records its span and the derived simulated-seconds-per-
+        // core-second throughput gauge. Metrics only — the deterministic
+        // event stream never sees the clock.
+        let watch = self.registry.as_ref().map(|_| perf::Stopwatch::start());
+        let results = match policy {
             ExecPolicy::Sequential => jobs.iter().map(|j| self.compute(j)).collect(),
             ExecPolicy::Parallel { jobs: n } => self.execute_parallel(jobs, *n),
             ExecPolicy::Cached { dir, policy } => self.execute_cached(jobs, dir, policy),
+        };
+        if let (Some(watch), Some(registry)) = (watch, &self.registry) {
+            registry.record_span("sweep/execute", watch.elapsed_nanos());
+            let sim: Seconds = jobs.iter().map(|j| j.session.meta().video_length).sum();
+            registry.gauge(
+                "perf/sweep_sess_s_per_core_s",
+                perf::session_seconds_per_core_second(sim, Seconds::new(watch.elapsed_seconds())),
+            );
         }
+        results
     }
 
     /// The shared worker pool: a next-index counter hands jobs to workers

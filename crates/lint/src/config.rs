@@ -50,6 +50,9 @@ pub struct Config {
     pub determinism_crates: Vec<String>,
     /// Crates exempt from the unit-safety rule (the newtypes live there).
     pub unit_safety_exempt: Vec<String>,
+    /// Crates allowed to touch `Instant`/`SystemTime` directly (the
+    /// sanctioned wall-clock seam; everything else goes through it).
+    pub wall_clock_exempt: Vec<String>,
     /// Workspace-relative path prefixes that are never scanned.
     pub exclude: Vec<String>,
 }
@@ -67,6 +70,7 @@ impl Default for Config {
             ("allow-reason", Severity::Deny),
             ("unused-allow", Severity::Warn),
             ("bench-cli", Severity::Deny),
+            ("wall-clock", Severity::Deny),
         ] {
             defaults.insert(rule.to_string(), severity);
         }
@@ -77,6 +81,7 @@ impl Default for Config {
                 .map(String::from)
                 .to_vec(),
             unit_safety_exempt: vec!["ecas-types".to_string()],
+            wall_clock_exempt: vec!["ecas-obs".to_string()],
             exclude: vec!["vendor".to_string(), "target".to_string()],
         }
     }
@@ -102,6 +107,15 @@ impl Config {
     #[must_use]
     pub fn unit_safety_applies(&self, krate: &str) -> bool {
         !self.unit_safety_exempt.iter().any(|c| c == krate)
+    }
+
+    /// Whether the wall-clock rule applies to `krate`. Determinism-scoped
+    /// crates are excluded: the determinism rule already bans wall-clock
+    /// sources there (plus entropy and hash-order), so one finding per
+    /// site suffices.
+    #[must_use]
+    pub fn wall_clock_applies(&self, krate: &str) -> bool {
+        !self.determinism_applies(krate) && !self.wall_clock_exempt.iter().any(|c| c == krate)
     }
 
     /// Whether a workspace-relative path is excluded from scanning.
@@ -175,6 +189,7 @@ impl Config {
             "scope" => match key {
                 "determinism" => self.determinism_crates = parse_array(value, lineno)?,
                 "unit-safety-exempt" => self.unit_safety_exempt = parse_array(value, lineno)?,
+                "wall-clock-exempt" => self.wall_clock_exempt = parse_array(value, lineno)?,
                 "exclude" => self.exclude = parse_array(value, lineno)?,
                 other => {
                     return Err(format!("lint.toml:{lineno}: unknown scope key `{other}`"));
@@ -249,6 +264,9 @@ mod tests {
         assert!(c.determinism_applies("ecas-sim"));
         assert!(!c.determinism_applies("ecas-obs"));
         assert!(!c.unit_safety_applies("ecas-types"));
+        assert!(c.wall_clock_applies("ecas-bench"));
+        assert!(!c.wall_clock_applies("ecas-obs"));
+        assert!(!c.wall_clock_applies("ecas-sim"));
     }
 
     #[test]
@@ -262,6 +280,7 @@ slice-indexing = "allow"
 [scope]
 determinism = ["ecas-sim",
     "ecas-abr"]
+wall-clock-exempt = ["ecas-obs", "ecas-bench"]
 exclude = ["vendor"]
 
 [overrides.ecas-sim]
@@ -271,6 +290,8 @@ slice-indexing = "deny"
         assert_eq!(c.severity("slice-indexing", "ecas-sim"), Severity::Deny);
         assert_eq!(c.severity("slice-indexing", "ecas-qoe"), Severity::Allow);
         assert_eq!(c.determinism_crates, ["ecas-sim", "ecas-abr"]);
+        assert!(!c.wall_clock_applies("ecas-bench"));
+        assert!(c.wall_clock_applies("ecas-lint"));
         assert!(c.is_excluded("vendor/rand/src/lib.rs"));
     }
 

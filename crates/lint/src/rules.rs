@@ -53,6 +53,10 @@ pub const RULES: &[(&str, &str)] = &[
         "bench-cli",
         "bench binaries parse arguments through ecas_bench::cli, never std::env::args",
     ),
+    (
+        "wall-clock",
+        "raw Instant/SystemTime only inside the sanctioned ecas-obs perf seam",
+    ),
 ];
 
 /// Identifiers banned by the determinism rule, with tailored hints.
@@ -123,6 +127,14 @@ const QUANTITY_SUFFIXES: &[(&str, &str)] = &[
     ("_dbm", "ecas_types::units::Dbm"),
 ];
 
+/// Wall-clock type names the wall-clock rule bans outside the sanctioned
+/// seam, with tailored messages.
+const WALL_CLOCK_TYPES: &[(&str, &str)] = &[
+    ("Instant", "raw wall-clock type `std::time::Instant`"),
+    ("SystemTime", "raw wall-clock type `std::time::SystemTime`"),
+    ("UNIX_EPOCH", "raw wall-clock anchor `UNIX_EPOCH`"),
+];
+
 /// Identifiers that must never appear inside a probe `emit(...)` payload.
 const WALL_CLOCK_IDENTS: &[&str] = &[
     "Instant",
@@ -151,6 +163,9 @@ pub fn run_all(
     let mut findings = Vec::new();
     if config.determinism_applies(crate_name) {
         determinism(tokens, &mut findings);
+    }
+    if config.wall_clock_applies(crate_name) {
+        wall_clock(tokens, &mut findings);
     }
     if config.unit_safety_applies(crate_name) {
         unit_safety(tokens, &mut findings);
@@ -182,6 +197,33 @@ fn determinism(tokens: &[Token], out: &mut Vec<RawFinding>) {
                 rule: "determinism",
                 message: (*message).to_string(),
                 hint: (*hint).to_string(),
+            });
+        }
+    }
+}
+
+/// Wall-clock types in harness/tooling crates outside the determinism
+/// scope. Determinism-scoped crates already ban these (with more) via the
+/// determinism rule; everywhere else the timing seam is
+/// `ecas_obs::perf` so spans and throughput gauges stay comparable and
+/// the two-stream invariant (events deterministic, metrics host-local)
+/// is enforced in one place.
+fn wall_clock(tokens: &[Token], out: &mut Vec<RawFinding>) {
+    for t in tokens {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        if let Some((_, message)) = WALL_CLOCK_TYPES
+            .iter()
+            .find(|(ident, _)| t.is_ident(ident))
+        {
+            out.push(RawFinding {
+                line: t.line,
+                rule: "wall-clock",
+                message: (*message).to_string(),
+                hint: "time through ecas_obs::perf (Stopwatch/Profiler) so spans and \
+                       throughput gauges share one monotonic-clock seam"
+                    .to_string(),
             });
         }
     }
@@ -475,6 +517,29 @@ mod tests {
             &Config::default(),
         );
         assert!(clean.iter().all(|f| f.rule != "bench-cli"), "{clean:#?}");
+    }
+
+    #[test]
+    fn wall_clock_bans_raw_time_types_outside_the_seam() {
+        let src = "use std::time::Instant;";
+        // Harness crates must go through ecas_obs::perf.
+        let bench = findings_for("ecas-bench", src);
+        assert_eq!(
+            bench.iter().filter(|f| f.rule == "wall-clock").count(),
+            1,
+            "{bench:#?}"
+        );
+        // ecas-obs is the sanctioned seam.
+        assert!(findings_for("ecas-obs", src).is_empty());
+        // Determinism-scoped crates report the stronger determinism rule,
+        // not a duplicate wall-clock finding.
+        let sim = findings_for("ecas-sim", src);
+        assert!(sim.iter().all(|f| f.rule != "wall-clock"), "{sim:#?}");
+        assert_eq!(sim.iter().filter(|f| f.rule == "determinism").count(), 1);
+        // The perf seam's own API does not trip the rule.
+        assert!(findings_for("ecas-bench", "let w = Stopwatch::start();").is_empty());
+        // Exact-identifier match only.
+        assert!(findings_for("ecas-bench", "struct Instants;").is_empty());
     }
 
     #[test]

@@ -39,6 +39,13 @@
 //! `sim/degraded_segments`. Continuous fault-injection quantities are
 //! gauges, not counters: `sim/outage_seconds`, `sim/wasted_energy_j`.
 //!
+//! Counters double as deterministic *work measures* for the hot paths —
+//! `sim/integration_chunks` for the radio integration kernel,
+//! `abr/labels_expanded` / `abr/labels_pruned` / `abr/edges_relaxed` for
+//! the Eq. (11) shortest-path solver — so performance cost is observable
+//! and comparable across hosts without timing anything (see [`perf`] for
+//! the wall-clock side).
+//!
 //! # Example
 //!
 //! ```
@@ -60,6 +67,7 @@
 
 pub mod manifest;
 pub mod metrics;
+pub mod perf;
 pub mod probe;
 pub mod recorder;
 pub mod render;
@@ -107,6 +115,19 @@ pub mod counters {
     /// A differential check found an online objective below the optimal
     /// — an optimality violation in the planner or the objective.
     pub const ORACLE_OBJECTIVE_FAIL: &str = "oracle/objective_fail";
+
+    /// One constant-state chunk processed by the radio-energy integration
+    /// kernel (`ecas-sim`'s `radio` module) inside the download loop —
+    /// the deterministic work measure of the simulator's hottest path.
+    pub const SIM_INTEGRATION_CHUNKS: &str = "sim/integration_chunks";
+
+    /// A Dijkstra label settled (heap pop expanded) by the Eq. (11)
+    /// shortest-path optimal solver (`ecas-abr`'s `graph` module).
+    pub const ABR_LABELS_EXPANDED: &str = "abr/labels_expanded";
+    /// A stale Dijkstra heap entry skipped without expansion.
+    pub const ABR_LABELS_PRUNED: &str = "abr/labels_pruned";
+    /// An edge relaxation that improved a tentative distance.
+    pub const ABR_EDGES_RELAXED: &str = "abr/edges_relaxed";
 }
 pub use metrics::{
     HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SpanSnapshot, DEFAULT_BUCKETS,

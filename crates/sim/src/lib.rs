@@ -42,6 +42,7 @@ pub mod controller;
 pub mod events;
 pub mod fault;
 pub mod player;
+pub mod radio;
 pub mod result;
 
 pub use config::{PlayerConfig, RetryPolicy};

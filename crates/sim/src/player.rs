@@ -1,6 +1,6 @@
 //! The trace-driven player simulator.
 
-use ecas_obs::{Probe, SpanGuard, NULL_PROBE};
+use ecas_obs::{counters, Probe, SpanGuard, NULL_PROBE};
 use ecas_power::model::PowerModel;
 use ecas_qoe::model::QoeModel;
 use ecas_sensors::vibration::VibrationEstimator;
@@ -14,6 +14,7 @@ use crate::config::PlayerConfig;
 use crate::controller::{BitrateController, Decision, DecisionContext, ThroughputObservation};
 use crate::events::{AbortReason, EventLog, SessionEvent};
 use crate::fault::{FaultPlan, FaultSpec};
+use crate::radio;
 use crate::result::{EnergyBreakdown, SessionResult, TaskRecord};
 
 /// Floor applied to trace throughput so downloads always terminate.
@@ -557,6 +558,7 @@ impl Simulator {
                     doomed.map(|frac| attempt_start + frac * policy.attempt_timeout.value());
                 let fail_floor_mb = doomed.map(|frac| (1.0 - frac) * size.value());
                 let mut attempt_energy = 0.0f64;
+                let mut attempt_chunks = 0u64;
                 let mut failed_injected = false;
                 while remaining_mb > 1e-12 {
                     close_outage(&mut state, &mut open_outage, t);
@@ -569,12 +571,8 @@ impl Simulator {
                     if deadline.is_some_and(|d| t >= d - 1e-9) {
                         break;
                     }
-                    let thr = network
-                        .throughput_at(Seconds::new(t))
-                        .value()
-                        .max(MIN_THROUGHPUT_MBPS);
-                    let factor = fault.map_or(1.0, |p| p.factor_at(Seconds::new(t)));
-                    if factor <= 0.0 && open_outage.is_none() {
+                    let step = radio::step_at(network, fault, t);
+                    if step.factor <= 0.0 && open_outage.is_none() {
                         if let Some((_, end)) =
                             fault.and_then(|p| p.outage_containing(Seconds::new(t)))
                         {
@@ -585,36 +583,22 @@ impl Simulator {
                             open_outage = Some(end.value());
                         }
                     }
-                    // Next point where the step function may change.
-                    let next_change = network
-                        .index_at_or_before(Seconds::new(t))
-                        .and_then(|i| network.as_slice().get(i + 1))
-                        .map_or(f64::INFINITY, |s| s.time.value());
-                    let next_change = if next_change > t {
-                        next_change
-                    } else {
-                        f64::INFINITY
-                    };
-                    let next_fault = fault
-                        .and_then(|p| p.next_transition_after(Seconds::new(t)))
-                        .map_or(f64::INFINITY, Seconds::value);
                     let hard_stop = deadline
                         .unwrap_or(f64::INFINITY)
                         .min(doomed_time.unwrap_or(f64::INFINITY));
-                    let eff = thr * factor;
-                    let mbps_in_mbytes = eff / 8.0;
-                    let chunk_end = if eff > 0.0 {
+                    let mbps_in_mbytes = step.eff / 8.0;
+                    let chunk_end = if step.eff > 0.0 {
                         // A doomed attempt only transfers down to its
                         // failure floor before resetting.
                         let target_mb = fail_floor_mb
                             .map_or(remaining_mb, |floor| remaining_mb - floor)
                             .max(0.0);
                         let finish = t + target_mb / mbps_in_mbytes;
-                        finish.min(next_change).min(next_fault).min(hard_stop)
+                        finish.min(step.boundary).min(hard_stop)
                     } else {
                         // Outage: zero goodput until the link or the
                         // attempt's abort schedule gives way.
-                        next_change.min(next_fault).min(hard_stop)
+                        step.boundary.min(hard_stop)
                     };
                     debug_assert!(
                         chunk_end.is_finite() && chunk_end > t,
@@ -623,15 +607,12 @@ impl Simulator {
                     let dt = chunk_end - t;
                     let moved = mbps_in_mbytes * dt;
                     remaining_mb = (remaining_mb - moved).max(0.0);
-                    let s_now = signal.signal_at(Seconds::new(t));
-                    // The radio burns its baseline power even at zero
-                    // goodput: it is actively holding (or re-acquiring)
-                    // the link through outages and doomed attempts.
-                    attempt_energy +=
-                        self.power.radio_power(s_now, Mbps::new(eff)).value() * dt;
+                    attempt_energy += radio::chunk_energy(&self.power, signal, t, dt, step.eff);
+                    attempt_chunks += 1;
                     self.advance(&mut state, t, chunk_end);
                     t = chunk_end;
                 }
+                probe.add(counters::SIM_INTEGRATION_CHUNKS, attempt_chunks);
                 radio_energy_task += attempt_energy;
                 if remaining_mb <= 1e-12 {
                     break 'attempts;

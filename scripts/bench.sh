@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Performance smoke gate over the committed BENCH_core.json trajectory.
+#
+# Three checks, all offline:
+#   1. build the perf binary (release);
+#   2. determinism — two same-seed `--work-only` runs must print
+#      byte-identical work counters;
+#   3. regression — `perf --smoke --check BENCH_core.json`: measured work
+#      counters must match the committed baseline exactly, and measured
+#      throughput medians must stay above committed/20 (hosts vary, so
+#      only an order-of-magnitude collapse fails).
+#
+# Usage: scripts/bench.sh [--update]
+#   --update   regenerate BENCH_core.json from this host instead of
+#              checking against it (commit the result)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+update=0
+for arg in "$@"; do
+    case "$arg" in
+        --update) update=1 ;;
+        *)
+            echo "unknown argument: $arg" >&2
+            exit 2
+            ;;
+    esac
+done
+
+cargo build --release -q -p ecas-bench --bin perf
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> perf: work counters are deterministic across same-seed runs"
+./target/release/perf --smoke --work-only > "$tmp/work_1.json"
+./target/release/perf --smoke --work-only > "$tmp/work_2.json"
+if ! cmp -s "$tmp/work_1.json" "$tmp/work_2.json"; then
+    echo "work counters differ across two same-seed runs" >&2
+    diff "$tmp/work_1.json" "$tmp/work_2.json" >&2 || true
+    exit 1
+fi
+
+if [ "$update" -eq 1 ]; then
+    echo "==> perf: regenerating BENCH_core.json (smoke profile)"
+    ./target/release/perf --smoke --out BENCH_core.json > /dev/null
+    exit 0
+fi
+
+echo "==> perf: regression gate against BENCH_core.json"
+./target/release/perf --smoke --check BENCH_core.json > /dev/null
+echo "bench OK"

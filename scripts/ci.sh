@@ -100,4 +100,7 @@ if ! grep -Eq 'replay_checks=[1-9][0-9]* objective_checks=[1-9][0-9]* failures=0
     exit 1
 fi
 
+echo "==> smoke: hot-path perf gate (work-counter determinism + collapse check)"
+scripts/bench.sh
+
 echo "CI OK"
