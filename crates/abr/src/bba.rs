@@ -71,7 +71,7 @@ impl BitrateController for Bba {
             // recover by starting the estimator over.
             self.reset();
         }
-        for obs in &ctx.history[self.history_len..] {
+        for obs in ctx.history_since(self.history_len) {
             self.startup_estimator.observe(obs.throughput);
         }
         self.history_len = ctx.history.len();

@@ -69,7 +69,7 @@ impl BitrateController for Festive {
             // recover by starting the estimator over.
             self.reset();
         }
-        for obs in &ctx.history[self.history_len..] {
+        for obs in ctx.history_since(self.history_len) {
             self.estimator.observe(obs.throughput);
         }
         self.history_len = ctx.history.len();

@@ -87,7 +87,9 @@ impl Graph {
         assert!(from < self.adj.len(), "edge source {from} out of range");
         assert!(to < self.adj.len(), "edge target {to} out of range");
         assert!(!weight.is_nan(), "edge weight must not be NaN");
-        self.adj[from].push((to, weight));
+        if let Some(edges) = self.adj.get_mut(from) {
+            edges.push((to, weight));
+        }
     }
 
     /// Dijkstra's algorithm from `src`: returns per-node distance and
@@ -120,21 +122,26 @@ impl Graph {
         let mut prev: Vec<Option<usize>> = vec![None; n];
         let mut stats = DijkstraStats::default();
         let mut heap: BinaryHeap<Reverse<(TotalF64, usize)>> = BinaryHeap::new();
-        dist[src] = 0.0;
+        if let Some(d0) = dist.get_mut(src) {
+            *d0 = 0.0;
+        }
         heap.push(Reverse((TotalF64(0.0), src)));
         while let Some(Reverse((TotalF64(d), u))) = heap.pop() {
-            if d > dist[u] {
+            if d > dist.get(u).copied().unwrap_or(f64::INFINITY) {
                 stats.pruned += 1;
                 continue;
             }
             stats.expanded += 1;
-            for &(v, w) in &self.adj[u] {
+            for &(v, w) in self.adj.get(u).into_iter().flatten() {
                 assert!(w >= 0.0, "Dijkstra requires non-negative weights, got {w}");
                 let nd = d + w;
-                if nd < dist[v] {
+                let Some(dv) = dist.get_mut(v) else { continue };
+                if nd < *dv {
                     stats.relaxed += 1;
-                    dist[v] = nd;
-                    prev[v] = Some(u);
+                    *dv = nd;
+                    if let Some(pv) = prev.get_mut(v) {
+                        *pv = Some(u);
+                    }
                     heap.push(Reverse((TotalF64(nd), v)));
                 }
             }
@@ -177,17 +184,23 @@ impl Graph {
         let n = self.adj.len();
         let mut dist = vec![f64::INFINITY; n];
         let mut prev: Vec<Option<usize>> = vec![None; n];
-        dist[src] = 0.0;
+        if let Some(d0) = dist.get_mut(src) {
+            *d0 = 0.0;
+        }
         for u in src..n {
-            if dist[u].is_infinite() {
+            let du = dist.get(u).copied().unwrap_or(f64::INFINITY);
+            if du.is_infinite() {
                 continue;
             }
-            for &(v, w) in &self.adj[u] {
+            for &(v, w) in self.adj.get(u).into_iter().flatten() {
                 assert!(v > u, "node order is not topological: edge {u} -> {v}");
-                let nd = dist[u] + w;
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    prev[v] = Some(u);
+                let nd = du + w;
+                let Some(dv) = dist.get_mut(v) else { continue };
+                if nd < *dv {
+                    *dv = nd;
+                    if let Some(pv) = prev.get_mut(v) {
+                        *pv = Some(u);
+                    }
                 }
             }
         }
@@ -201,17 +214,18 @@ fn reconstruct(
     src: usize,
     dst: usize,
 ) -> Option<(f64, Vec<usize>)> {
-    if dist[dst].is_infinite() {
+    let cost = dist.get(dst).copied()?;
+    if cost.is_infinite() {
         return None;
     }
     let mut path = vec![dst];
     let mut cur = dst;
     while cur != src {
-        cur = prev[cur]?;
+        cur = (*prev.get(cur)?)?;
         path.push(cur);
     }
     path.reverse();
-    Some((dist[dst], path))
+    Some((cost, path))
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //! paths have the same edge count) makes them non-negative; a
 //! topological-order dynamic program cross-checks the result.
 
-use ecas_obs::{counters, Probe, NULL_PROBE};
+use ecas_obs::{names, Probe, NULL_PROBE};
 use ecas_power::task::{TaskConditions, TaskEnergyModel};
 use ecas_qoe::model::QoeModel;
 use ecas_sensors::vibration::vibration_level_in_window;
@@ -32,6 +32,7 @@ use crate::objective::ObjectiveWeights;
 
 /// An optimal bitrate plan for one session.
 #[derive(Debug, Clone, PartialEq)]
+// ecas-lint: allow(pub-surface, reason = "part of the crate's re-exported public API surface")
 pub struct OptimalPlan {
     /// The chosen level for each task, in task order.
     pub levels: Vec<LevelIndex>,
@@ -217,9 +218,11 @@ impl OptimalPlanner {
         let sink = 1 + n * m;
         let mut graph = Graph::new(sink + 1);
 
-        for j in 0..m {
-            let w = self.cost(&contexts[0], LevelIndex::new(j), None) + shift;
-            graph.add_edge(0, node(0, j), w);
+        if let Some(first_ctx) = contexts.first() {
+            for j in 0..m {
+                let w = self.cost(first_ctx, LevelIndex::new(j), None) + shift;
+                graph.add_edge(0, node(0, j), w);
+            }
         }
         for (i, ctx) in contexts.iter().enumerate().skip(1) {
             for jp in 0..m {
@@ -234,9 +237,9 @@ impl OptimalPlanner {
         }
 
         let (solved, stats) = graph.dijkstra_path_with_stats(0, sink);
-        probe.add(counters::ABR_LABELS_EXPANDED, stats.expanded);
-        probe.add(counters::ABR_LABELS_PRUNED, stats.pruned);
-        probe.add(counters::ABR_EDGES_RELAXED, stats.relaxed);
+        probe.add(names::ABR_LABELS_EXPANDED, stats.expanded);
+        probe.add(names::ABR_LABELS_PRUNED, stats.pruned);
+        probe.add(names::ABR_EDGES_RELAXED, stats.relaxed);
         let (cost_dijkstra, path) = solved
             // ecas-lint: allow(panic-safety, reason = "the layered graph built above always connects source to sink")
             .expect("layered graph is connected");
@@ -251,7 +254,9 @@ impl OptimalPlanner {
         // Paths may differ under exact ties; costs must match.
         debug_assert_eq!(path.len(), path_dp.len());
 
-        let levels: Vec<LevelIndex> = path[1..path.len() - 1]
+        let levels: Vec<LevelIndex> = path
+            .get(1..path.len().saturating_sub(1))
+            .unwrap_or_default()
             .iter()
             .map(|&id| LevelIndex::new((id - 1) % m))
             .collect();
@@ -432,13 +437,13 @@ mod tests {
         let recorder = ecas_obs::MemoryRecorder::new();
         let plan = planner.plan_with_probe(&s, &recorder);
         let snapshot = recorder.metrics().snapshot();
-        let expanded = snapshot.counter(counters::ABR_LABELS_EXPANDED).unwrap();
-        let relaxed = snapshot.counter(counters::ABR_EDGES_RELAXED).unwrap();
+        let expanded = snapshot.counter(names::ABR_LABELS_EXPANDED).unwrap();
+        let relaxed = snapshot.counter(names::ABR_EDGES_RELAXED).unwrap();
         // Every task layer must settle at least one label, and reaching
         // the sink needs at least one relaxation per settled-path edge.
         assert!(expanded >= plan.levels.len() as u64);
         assert!(relaxed >= expanded - 1);
-        assert!(snapshot.counter(counters::ABR_LABELS_PRUNED).is_some());
+        assert!(snapshot.counter(names::ABR_LABELS_PRUNED).is_some());
         // The probe is observation-only: the plan itself is unchanged.
         assert_eq!(plan, planner.plan(&s));
     }

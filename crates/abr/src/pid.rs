@@ -79,7 +79,7 @@ impl BitrateController for Pid {
             // recover by starting the estimator over.
             self.reset();
         }
-        for obs in &ctx.history[self.history_len..] {
+        for obs in ctx.history_since(self.history_len) {
             self.estimator.observe(obs.throughput);
         }
         self.history_len = ctx.history.len();

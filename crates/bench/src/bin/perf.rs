@@ -32,7 +32,7 @@ use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::types::ladder::BitrateLadder;
 use ecas_core::types::units::Seconds;
 use ecas_obs::perf::{session_seconds_per_core_second, PerfStats, Profiler, Stopwatch};
-use ecas_obs::MemoryRecorder;
+use ecas_obs::{names, MemoryRecorder};
 
 /// One hot path measured: its deterministic work plus timing samples.
 struct Measured {
@@ -119,7 +119,7 @@ fn measure_sim_loop(
     let samples = if work_only {
         Vec::new()
     } else {
-        time_path(profiler, "sim_loop", iters, sim_seconds, || {
+        time_path(profiler, names::PERF_PATH_SIM_LOOP, iters, sim_seconds, || {
             for session in sessions {
                 let mut controller = FixedLevel::highest();
                 let _ = sim.run(session, &mut controller);
@@ -127,7 +127,7 @@ fn measure_sim_loop(
         })
     };
     Measured {
-        name: "sim_loop",
+        name: names::PERF_PATH_SIM_LOOP,
         sim_seconds,
         work: counters_with_prefix(&recorder, "sim/"),
         samples,
@@ -157,14 +157,14 @@ fn measure_radio_integration(
     let samples = if work_only {
         Vec::new()
     } else {
-        time_path(profiler, "radio_integration", iters, sim_seconds, || {
+        time_path(profiler, names::PERF_PATH_RADIO_INTEGRATION, iters, sim_seconds, || {
             let _ = integrate_all();
         })
     };
     Measured {
-        name: "radio_integration",
+        name: names::PERF_PATH_RADIO_INTEGRATION,
         sim_seconds,
-        work: BTreeMap::from([("radio/integration_chunks".to_string(), chunks)]),
+        work: BTreeMap::from([(names::RADIO_INTEGRATION_CHUNKS.to_string(), chunks)]),
         samples,
     }
 }
@@ -185,14 +185,14 @@ fn measure_optimal_solver(
     let samples = if work_only {
         Vec::new()
     } else {
-        time_path(profiler, "optimal_solver", iters, sim_seconds, || {
+        time_path(profiler, names::PERF_PATH_OPTIMAL_SOLVER, iters, sim_seconds, || {
             for session in sessions {
                 let _ = planner.plan(session);
             }
         })
     };
     Measured {
-        name: "optimal_solver",
+        name: names::PERF_PATH_OPTIMAL_SOLVER,
         sim_seconds,
         work: counters_with_prefix(&recorder, "abr/"),
         samples,

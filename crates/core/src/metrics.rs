@@ -21,6 +21,7 @@ use ecas_trace::session::SessionTrace;
 
 /// Per-approach metrics on one trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "exposed through TraceComparison's public fields and accessors")
 pub struct ApproachMetrics {
     /// The approach.
     pub approach: Approach,
@@ -55,6 +56,7 @@ impl ApproachMetrics {
 
 /// All approaches compared on one trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "re-exported metrics-comparison type; part of the crate's published surface")
 pub struct TraceComparison {
     /// Trace name ("trace1" … "trace5").
     pub trace: String,

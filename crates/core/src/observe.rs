@@ -123,7 +123,7 @@ pub fn run_observed(scenario: &Scenario, dir: &Path) -> io::Result<ComparisonSum
 ///
 /// Returns the summary together with the run's [`CacheStats`]. On a warm
 /// run the `sim/*` metrics stay at zero — the `sweep/cache_*` counters in
-/// `metrics.txt` tell the story instead (see [`ecas_obs::counters`]).
+/// `metrics.txt` tell the story instead (see [`ecas_obs::names`]).
 ///
 /// # Errors
 ///

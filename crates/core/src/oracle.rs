@@ -45,7 +45,7 @@
 //! ```
 
 use ecas_abr::{ObjectiveWeights, OptimalPlanner};
-use ecas_obs::{counters, Probe, NULL_PROBE};
+use ecas_obs::{names, Probe, NULL_PROBE};
 use ecas_power::task::TaskEnergyModel;
 use ecas_sim::radio;
 use ecas_sim::{EnergyBreakdown, EventLog, FaultPlan, SessionEvent, SessionResult, Simulator, TaskRecord};
@@ -61,17 +61,17 @@ use ecas_types::units::{Dbm, Joules, Mbps, MegaBytes, MetersPerSec2, QoeScore, S
 /// absorbs the few fields (decode slivers at segment boundaries, stall
 /// sums vs. interval arithmetic) where the two computations order their
 /// floating-point additions differently.
-pub const REPLAY_TOLERANCE: f64 = 1e-9;
+pub(crate) const REPLAY_TOLERANCE: f64 = 1e-9;
 
 /// Relative tolerance for the wall-clock decomposition identity
 /// (`wall = startup + played + rebuffer`), whose three right-hand terms
 /// each accumulate their own rounding across every advance of the clock.
-pub const WALL_IDENTITY_TOLERANCE: f64 = 1e-6;
+pub(crate) const WALL_IDENTITY_TOLERANCE: f64 = 1e-6;
 
 /// Slack granted to the online objective in the differential check:
 /// `online + OBJECTIVE_TOLERANCE ≥ optimal` must hold (Eq. (11) is
 /// minimized, so the optimal plan is a lower bound).
-pub const OBJECTIVE_TOLERANCE: f64 = 1e-9;
+pub(crate) const OBJECTIVE_TOLERANCE: f64 = 1e-9;
 
 /// A structurally broken event log (or a log that does not belong to the
 /// session it was replayed against).
@@ -98,6 +98,7 @@ impl std::error::Error for ReplayError {}
 
 /// One field where the replayed result disagrees with the simulator's.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// ecas-lint: allow(pub-surface, reason = "re-exported oracle result type; part of the crate's published surface")
 pub struct Divergence {
     /// Dotted path of the diverging field (e.g. `energy.radio`,
     /// `tasks[3].rebuffer`, `identity.wall_decomposition`).
@@ -175,6 +176,7 @@ impl ReplayVerdict {
 
 /// The outcome of the differential objective check.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// ecas-lint: allow(pub-surface, reason = "re-exported oracle result type; part of the crate's published surface")
 pub struct ObjectiveVerdict {
     /// Eq. (11) objective of the realized (online) level sequence.
     pub online: f64,
@@ -506,9 +508,9 @@ impl<'a> Oracle<'a> {
             },
         };
         let counter = match &verdict {
-            ReplayVerdict::Skipped { .. } => counters::ORACLE_REPLAY_SKIP,
-            ReplayVerdict::Pass { .. } => counters::ORACLE_REPLAY_PASS,
-            ReplayVerdict::Fail { .. } => counters::ORACLE_REPLAY_FAIL,
+            ReplayVerdict::Skipped { .. } => names::ORACLE_REPLAY_SKIP,
+            ReplayVerdict::Pass { .. } => names::ORACLE_REPLAY_PASS,
+            ReplayVerdict::Fail { .. } => names::ORACLE_REPLAY_FAIL,
         };
         probe.add(counter, 1);
         verdict
@@ -604,9 +606,9 @@ impl<'a> Oracle<'a> {
         let verdict = self.check_objective(session, result)?;
         probe.add(
             if verdict.holds() {
-                counters::ORACLE_OBJECTIVE_PASS
+                names::ORACLE_OBJECTIVE_PASS
             } else {
-                counters::ORACLE_OBJECTIVE_FAIL
+                names::ORACLE_OBJECTIVE_FAIL
             },
             1,
         );
@@ -1258,9 +1260,9 @@ mod tests {
         let _ = oracle.check_replay_with_probe(&s, &result, None, &recorder);
         let _ = oracle.check_objective_with_probe(&s, &result, &recorder);
         let snap = recorder.metrics().snapshot();
-        assert_eq!(snap.counter(counters::ORACLE_REPLAY_PASS), Some(1));
-        assert_eq!(snap.counter(counters::ORACLE_REPLAY_SKIP), Some(1));
-        assert_eq!(snap.counter(counters::ORACLE_OBJECTIVE_PASS), Some(1));
+        assert_eq!(snap.counter(names::ORACLE_REPLAY_PASS), Some(1));
+        assert_eq!(snap.counter(names::ORACLE_REPLAY_SKIP), Some(1));
+        assert_eq!(snap.counter(names::ORACLE_OBJECTIVE_PASS), Some(1));
     }
 
     #[test]

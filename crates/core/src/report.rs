@@ -185,6 +185,7 @@ impl Scenario {
 /// assert!(scenario.fault.is_none());
 /// ```
 #[derive(Debug, Clone)]
+// ecas-lint: allow(pub-surface, reason = "re-exported scenario surface; used by integration tests and future experiment scripts")
 pub struct ScenarioBuilder {
     name: String,
     traces: TraceSelection,

@@ -23,6 +23,7 @@ use crate::sweep::{CacheStats, ExecPolicy, SweepEngine};
 
 /// Mean and standard deviation of one metric across seeds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "re-exported robustness-report row type; part of the crate's published surface")
 pub struct SeedStat {
     /// Mean across seeds.
     pub mean: f64,
@@ -50,6 +51,7 @@ impl SeedStat {
 
 /// Headline metrics of one approach, aggregated across seeds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "re-exported robustness-report row type; part of the crate's published surface")
 pub struct RobustnessRow {
     /// The approach.
     pub approach: Approach,
@@ -97,7 +99,7 @@ pub fn table_v_robustness(
 ///
 /// Panics on the same invalid inputs as [`table_v_robustness`].
 #[must_use]
-pub fn table_v_robustness_with(
+pub(crate) fn table_v_robustness_with(
     runner: &ExperimentRunner,
     approaches: &[Approach],
     seeds: &[u64],
@@ -240,7 +242,7 @@ pub fn fault_sweep(
 ///
 /// Panics on the same invalid inputs as [`fault_sweep`].
 #[must_use]
-pub fn fault_sweep_with(
+pub(crate) fn fault_sweep_with(
     runner: &ExperimentRunner,
     sessions: &[SessionTrace],
     approaches: &[Approach],

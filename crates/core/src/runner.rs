@@ -1,7 +1,7 @@
 //! The experiment runner: approaches × traces, optionally in parallel.
 
 use ecas_abr::InstrumentedBox;
-use ecas_obs::{Probe, SpanGuard};
+use ecas_obs::{names, Probe, SpanGuard};
 use ecas_sim::controller::FixedLevel;
 use ecas_sim::events::EventLog;
 use ecas_sim::result::SessionResult;
@@ -87,7 +87,7 @@ impl ExperimentRunner {
         approach: &Approach,
         probe: &dyn Probe,
     ) -> (SessionResult, EventLog) {
-        let _run_span = SpanGuard::new(probe, "core/run");
+        let _run_span = SpanGuard::new(probe, names::CORE_RUN_SPAN);
         let controller = approach.controller_with_eta(&self.simulator, session, self.eta);
         let mut instrumented = InstrumentedBox::new(controller, probe);
         self.simulator

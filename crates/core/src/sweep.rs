@@ -23,14 +23,14 @@
 //!
 //! Cache activity is reported through [`CacheStats`] and, when a registry
 //! is attached via [`SweepEngine::with_registry`], the
-//! [`ecas_obs::counters`] `sweep/cache_*` counters.
+//! [`ecas_obs::names`] `sweep/cache_*` counters.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use ecas_obs::{counters, perf, stable_hash, JsonlRecorder, MetricsRegistry};
+use ecas_obs::{names, perf, stable_hash, JsonlRecorder, MetricsRegistry};
 use ecas_sim::controller::FixedLevel;
 use ecas_sim::events::EventLog;
 use ecas_sim::result::SessionResult;
@@ -47,7 +47,7 @@ use crate::runner::ExperimentRunner;
 
 /// Version stamp of the on-disk cache entry layout. Bumping it (or the
 /// crate version) invalidates every existing entry.
-pub const CACHE_FORMAT: u32 = 1;
+pub(crate) const CACHE_FORMAT: u32 = 1;
 
 /// The pseudo-controller label under which per-session base-energy runs
 /// (everything at the lowest ladder level) are cached.
@@ -268,7 +268,7 @@ impl SweepEngine {
     }
 
     /// Mirrors cache hit/miss/corrupt/write-error counts into `registry`
-    /// under the [`ecas_obs::counters`] `sweep/cache_*` names.
+    /// under the [`ecas_obs::names`] `sweep/cache_*` names.
     #[must_use]
     pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.registry = Some(registry);
@@ -468,10 +468,10 @@ impl SweepEngine {
             ExecPolicy::Cached { dir, policy } => self.execute_cached(jobs, dir, policy),
         };
         if let (Some(watch), Some(registry)) = (watch, &self.registry) {
-            registry.record_span("sweep/execute", watch.elapsed_nanos());
+            registry.record_span(names::SWEEP_EXECUTE_SPAN, watch.elapsed_nanos());
             let sim: Seconds = jobs.iter().map(|j| j.session.meta().video_length).sum();
             registry.gauge(
-                "perf/sweep_sess_s_per_core_s",
+                names::PERF_SWEEP_SESS_S_PER_CORE_S,
                 perf::session_seconds_per_core_second(sim, Seconds::new(watch.elapsed_seconds())),
             );
         }
@@ -699,22 +699,22 @@ impl SweepEngine {
 
     fn note_hit(&self) {
         self.stats.lock().hits += 1;
-        self.bump(counters::SWEEP_CACHE_HIT);
+        self.bump(names::SWEEP_CACHE_HIT);
     }
 
     fn note_miss(&self) {
         self.stats.lock().misses += 1;
-        self.bump(counters::SWEEP_CACHE_MISS);
+        self.bump(names::SWEEP_CACHE_MISS);
     }
 
     fn note_corrupt(&self) {
         self.stats.lock().corrupt += 1;
-        self.bump(counters::SWEEP_CACHE_CORRUPT);
+        self.bump(names::SWEEP_CACHE_CORRUPT);
     }
 
     fn note_write_error(&self) {
         self.stats.lock().write_errors += 1;
-        self.bump(counters::SWEEP_CACHE_WRITE_ERROR);
+        self.bump(names::SWEEP_CACHE_WRITE_ERROR);
     }
 
     fn bump(&self, name: &'static str) {

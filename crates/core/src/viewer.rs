@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// What an early quit wastes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "re-exported viewer-model result type; part of the crate's published surface")
 pub struct QuitAnalysis {
     /// The quit time analyzed.
     pub quit_at: Seconds,
@@ -105,6 +106,7 @@ pub fn quit_analysis(
 ///
 /// Panics if `quit_fractions` is empty or contains values outside `[0, 1]`.
 #[must_use]
+// ecas-lint: allow(pub-surface, reason = "re-exported viewer-model API (Sec. V quit analysis); exercised by unit tests")
 pub fn expected_waste(
     result: &SessionResult,
     segment_duration: Seconds,

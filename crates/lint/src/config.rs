@@ -53,8 +53,24 @@ pub struct Config {
     /// Crates allowed to touch `Instant`/`SystemTime` directly (the
     /// sanctioned wall-clock seam; everything else goes through it).
     pub wall_clock_exempt: Vec<String>,
+    /// Crates exempt from the pub-surface rule (e.g. pure re-export
+    /// facades whose surface exists for out-of-workspace users).
+    pub pub_surface_exempt: Vec<String>,
     /// Workspace-relative path prefixes that are never scanned.
     pub exclude: Vec<String>,
+    /// `[layering]`: crates importable by everyone (the shared base).
+    pub layering_common: Vec<String>,
+    /// `[layering]`: sanctioned *direct* dependencies per crate. A crate
+    /// may also reach anything in the transitive closure of its listed
+    /// deps, plus the common set. An empty map disables the rule.
+    pub layering: BTreeMap<String, Vec<String>>,
+    /// `[hot-paths] functions`: `crate::file_stem::fn_name` patterns (a
+    /// trailing `*` globs the function segment) whose loop bodies the
+    /// hot-path-alloc rule scans. Empty disables the rule.
+    pub hot_paths: Vec<String>,
+    /// `[obs-names] registry`: workspace-relative path of the checked-in
+    /// metric-name registry file.
+    pub obs_registry: String,
 }
 
 impl Default for Config {
@@ -71,6 +87,10 @@ impl Default for Config {
             ("unused-allow", Severity::Warn),
             ("bench-cli", Severity::Deny),
             ("wall-clock", Severity::Deny),
+            ("layering", Severity::Deny),
+            ("hot-path-alloc", Severity::Deny),
+            ("obs-name-registry", Severity::Deny),
+            ("pub-surface", Severity::Deny),
         ] {
             defaults.insert(rule.to_string(), severity);
         }
@@ -82,7 +102,12 @@ impl Default for Config {
                 .to_vec(),
             unit_safety_exempt: vec!["ecas-types".to_string()],
             wall_clock_exempt: vec!["ecas-obs".to_string()],
+            pub_surface_exempt: Vec::new(),
             exclude: vec!["vendor".to_string(), "target".to_string()],
+            layering_common: Vec::new(),
+            layering: BTreeMap::new(),
+            hot_paths: Vec::new(),
+            obs_registry: "crates/obs/src/names.rs".to_string(),
         }
     }
 }
@@ -116,6 +141,12 @@ impl Config {
     #[must_use]
     pub fn wall_clock_applies(&self, krate: &str) -> bool {
         !self.determinism_applies(krate) && !self.wall_clock_exempt.iter().any(|c| c == krate)
+    }
+
+    /// Whether the pub-surface rule applies to `krate`.
+    #[must_use]
+    pub fn pub_surface_applies(&self, krate: &str) -> bool {
+        !self.pub_surface_exempt.iter().any(|c| c == krate)
     }
 
     /// Whether a workspace-relative path is excluded from scanning.
@@ -190,9 +221,30 @@ impl Config {
                 "determinism" => self.determinism_crates = parse_array(value, lineno)?,
                 "unit-safety-exempt" => self.unit_safety_exempt = parse_array(value, lineno)?,
                 "wall-clock-exempt" => self.wall_clock_exempt = parse_array(value, lineno)?,
+                "pub-surface-exempt" => self.pub_surface_exempt = parse_array(value, lineno)?,
                 "exclude" => self.exclude = parse_array(value, lineno)?,
                 other => {
                     return Err(format!("lint.toml:{lineno}: unknown scope key `{other}`"));
+                }
+            },
+            "layering" => {
+                if key == "common" {
+                    self.layering_common = parse_array(value, lineno)?;
+                } else {
+                    self.layering
+                        .insert(key.to_string(), parse_array(value, lineno)?);
+                }
+            }
+            "hot-paths" => match key {
+                "functions" => self.hot_paths = parse_array(value, lineno)?,
+                other => {
+                    return Err(format!("lint.toml:{lineno}: unknown hot-paths key `{other}`"));
+                }
+            },
+            "obs-names" => match key {
+                "registry" => self.obs_registry = parse_string(value, lineno)?,
+                other => {
+                    return Err(format!("lint.toml:{lineno}: unknown obs-names key `{other}`"));
                 }
             },
             s => {
@@ -293,6 +345,34 @@ slice-indexing = "deny"
         assert!(!c.wall_clock_applies("ecas-bench"));
         assert!(c.wall_clock_applies("ecas-lint"));
         assert!(c.is_excluded("vendor/rand/src/lib.rs"));
+    }
+
+    #[test]
+    fn parse_workspace_rule_sections() {
+        let toml = r#"
+[layering]
+common = ["ecas-types", "ecas-obs"]
+ecas-sim = ["ecas-trace", "ecas-net"]
+ecas-core = ["ecas-sim"]
+
+[hot-paths]
+functions = ["ecas-sim::player::run_inner", "ecas-abr::graph::dijkstra*"]
+
+[obs-names]
+registry = "crates/obs/src/names.rs"
+
+[scope]
+pub-surface-exempt = ["ecas"]
+"#;
+        let c = Config::parse(toml).expect("parses");
+        assert_eq!(c.layering_common, ["ecas-types", "ecas-obs"]);
+        assert_eq!(c.layering["ecas-core"], ["ecas-sim"]);
+        assert_eq!(c.hot_paths.len(), 2);
+        assert_eq!(c.obs_registry, "crates/obs/src/names.rs");
+        assert!(!c.pub_surface_applies("ecas"));
+        assert!(c.pub_surface_applies("ecas-sim"));
+        assert_eq!(c.severity("layering", "ecas-sim"), Severity::Deny);
+        assert_eq!(c.severity("hot-path-alloc", "ecas-sim"), Severity::Deny);
     }
 
     #[test]

@@ -22,6 +22,51 @@ pub struct Diagnostic {
     pub hint: String,
 }
 
+impl Diagnostic {
+    /// Renders the diagnostic as one JSON object with a stable field
+    /// order (`file`, `line`, `rule`, `severity`, `message`, `hint`), for
+    /// the `--json` machine-readable report. Hand-rolled so the lint
+    /// stays dependency-free; strings escape quotes, backslashes and
+    /// control characters per RFC 8259.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"file\":");
+        json_string(&mut out, &self.file);
+        out.push_str(",\"line\":");
+        out.push_str(&self.line.to_string());
+        out.push_str(",\"rule\":");
+        json_string(&mut out, self.rule);
+        out.push_str(",\"severity\":");
+        json_string(&mut out, &self.severity.to_string());
+        out.push_str(",\"message\":");
+        json_string(&mut out, &self.message);
+        out.push_str(",\"hint\":");
+        json_string(&mut out, &self.hint);
+        out.push('}');
+        out
+    }
+}
+
+/// Appends `value` to `out` as a JSON string literal.
+fn json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -61,6 +106,24 @@ impl Tally {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_escapes_and_orders_fields() {
+        let d = Diagnostic {
+            file: "crates/a\\b.rs".to_string(),
+            line: 7,
+            rule: "layering",
+            severity: Severity::Warn,
+            message: "dep \"x\" is\nbad".to_string(),
+            hint: "drop it".to_string(),
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"file\":\"crates/a\\\\b.rs\",\"line\":7,\"rule\":\"layering\",\
+             \"severity\":\"warn\",\"message\":\"dep \\\"x\\\" is\\nbad\",\
+             \"hint\":\"drop it\"}"
+        );
+    }
 
     #[test]
     fn renders_grep_friendly_line() {

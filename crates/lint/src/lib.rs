@@ -23,12 +23,16 @@
 
 pub mod config;
 pub mod diag;
+pub mod item;
 pub mod rules;
 pub mod scan;
+pub mod workspace;
+pub mod wsrules;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 pub use config::{Config, Severity};
 pub use diag::{Diagnostic, Tally};
@@ -44,10 +48,38 @@ pub fn lint_source(
 ) -> Vec<Diagnostic> {
     let scanned = scan::scan(source);
     let test_ranges = scan::test_line_ranges(&scanned.tokens);
-    let in_test = |line: u32| test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+    let findings: Vec<_> = rules::run_all(crate_name, rel_path, &scanned.tokens, config)
+        .into_iter()
+        .map(|f| (f, None))
+        .collect();
+    resolve(
+        crate_name,
+        rel_path,
+        &scanned.directives,
+        &test_ranges,
+        findings,
+        config,
+    )
+}
 
-    let raw = rules::run_all(crate_name, rel_path, &scanned.tokens, config);
-    let raw: Vec<_> = raw.into_iter().filter(|f| !in_test(f.line)).collect();
+/// Resolves raw findings against a file's allow directives and the
+/// configured severities: filters `#[cfg(test)]` regions, applies
+/// suppression (a trailing directive covers its own line; a standalone
+/// one covers the next non-directive line), clamps each finding to its
+/// optional severity cap, and reports directive hygiene (malformed,
+/// reason-less, unknown-rule, unused). Shared by the per-file and
+/// workspace passes — manifests resolve here too, with empty test
+/// ranges.
+fn resolve(
+    crate_name: &str,
+    rel_path: &str,
+    directives: &[scan::Directive],
+    test_ranges: &[(u32, u32)],
+    findings: Vec<(rules::RawFinding, Option<Severity>)>,
+    config: &Config,
+) -> Vec<Diagnostic> {
+    let in_test = |line: u32| test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+    let raw: Vec<_> = findings.into_iter().filter(|(f, _)| !in_test(f.line)).collect();
 
     // A trailing directive covers its own line; a standalone directive
     // covers the next non-directive line.
@@ -56,11 +88,7 @@ pub fn lint_source(
             return d.line;
         }
         let mut target = d.line + 1;
-        while scanned
-            .directives
-            .iter()
-            .any(|o| o.standalone && o.line == target)
-        {
+        while directives.iter().any(|o| o.standalone && o.line == target) {
             target += 1;
         }
         target
@@ -68,10 +96,10 @@ pub fn lint_source(
 
     let known_rule = |name: &str| rules::RULES.iter().any(|(rule, _)| *rule == name);
     let mut out = Vec::new();
-    let mut used = vec![false; scanned.directives.len()];
+    let mut used = vec![false; directives.len()];
 
-    for finding in &raw {
-        let suppressed = scanned.directives.iter().enumerate().any(|(di, d)| {
+    for (finding, cap) in &raw {
+        let suppressed = directives.iter().enumerate().any(|(di, d)| {
             let covers = d.malformed.is_none()
                 && d.reason.is_some()
                 && target_line(d) == finding.line
@@ -84,7 +112,10 @@ pub fn lint_source(
         if suppressed {
             continue;
         }
-        let severity = config.severity(finding.rule, crate_name);
+        let mut severity = config.severity(finding.rule, crate_name);
+        if let Some(cap) = cap {
+            severity = severity.min(*cap);
+        }
         if severity == Severity::Allow {
             continue;
         }
@@ -100,7 +131,7 @@ pub fn lint_source(
 
     // Directive hygiene: malformed, reason-less, unknown-rule and unused
     // directives are findings themselves.
-    for (di, d) in scanned.directives.iter().enumerate() {
+    for (di, d) in directives.iter().enumerate() {
         if in_test(d.line) {
             continue;
         }
@@ -163,83 +194,70 @@ pub fn lint_source(
     out
 }
 
-/// One scannable source file of the workspace.
-#[derive(Debug, Clone)]
-pub struct SourceFile {
-    /// Package name owning the file (e.g. `ecas-sim`).
-    pub crate_name: String,
-    /// Absolute path on disk.
-    pub path: PathBuf,
-    /// Workspace-relative path used in diagnostics.
-    pub rel_path: String,
-}
-
-/// Enumerates the library source files of every first-party workspace
-/// crate: `src/**/*.rs` under `crates/*` plus the root package. Test,
-/// bench and example targets are not library code and are not scanned;
-/// `lint.toml` excludes (e.g. `vendor/`) are honoured.
-///
-/// # Errors
-///
-/// Returns any I/O error from directory traversal.
-pub fn workspace_files(root: &Path, config: &Config) -> io::Result<Vec<SourceFile>> {
-    let mut files = Vec::new();
-    let mut crate_dirs = vec![root.to_path_buf()];
-    let crates_dir = root.join("crates");
-    if crates_dir.is_dir() {
-        for entry in fs::read_dir(&crates_dir)? {
-            crate_dirs.push(entry?.path());
-        }
-    }
-    crate_dirs.sort();
-
-    for dir in crate_dirs {
-        let manifest = dir.join("Cargo.toml");
-        let src = dir.join("src");
-        if !manifest.is_file() || !src.is_dir() {
-            continue;
-        }
-        let Some(crate_name) = package_name(&fs::read_to_string(&manifest)?) else {
-            continue;
-        };
-        let mut rs_files = Vec::new();
-        collect_rs_files(&src, &mut rs_files)?;
-        rs_files.sort();
-        for path in rs_files {
-            let rel_path = path
-                .strip_prefix(root)
-                .unwrap_or(&path)
-                .to_string_lossy()
-                .replace('\\', "/");
-            if config.is_excluded(&rel_path) {
-                continue;
-            }
-            files.push(SourceFile {
-                crate_name: crate_name.clone(),
-                path,
-                rel_path,
-            });
-        }
-    }
-    Ok(files)
-}
-
-/// Lints every workspace file under `root` with `config`.
+/// Lints the whole workspace under `root` with `config`: the per-file
+/// rules over every library source, plus the workspace rules (layering,
+/// hot-path-alloc, obs-name-registry, pub-surface) over the loaded
+/// [`workspace::WorkspaceModel`]. Workspace findings resolve against the
+/// same allow-directive machinery as file findings; layering findings
+/// anchor on `Cargo.toml` lines and are suppressed by
+/// `# ecas-lint: allow(...)` TOML comments.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from reading the tree.
 pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
-    for file in workspace_files(root, config)? {
-        let source = fs::read_to_string(&file.path)?;
-        out.extend(lint_source(
-            &file.crate_name,
-            &file.rel_path,
-            &source,
-            config,
-        ));
+    let model = workspace::WorkspaceModel::load(root, config)?;
+
+    // Group workspace-rule findings by their anchor file.
+    type Grouped = BTreeMap<String, (String, Vec<(rules::RawFinding, Option<Severity>)>)>;
+    let mut by_file: Grouped = BTreeMap::new();
+    for wf in wsrules::run_workspace(&model, config) {
+        by_file
+            .entry(wf.file)
+            .or_insert_with(|| (wf.crate_name, Vec::new()))
+            .1
+            .push((wf.finding, wf.cap));
     }
+
+    let mut out = Vec::new();
+    for krate in &model.crates {
+        let manifest = by_file.remove(&krate.manifest_rel).map(|(_, f)| f);
+        if manifest.is_some() || !krate.manifest_directives.is_empty() {
+            out.extend(resolve(
+                &krate.name,
+                &krate.manifest_rel,
+                &krate.manifest_directives,
+                &[],
+                manifest.unwrap_or_default(),
+                config,
+            ));
+        }
+        for file in &krate.files {
+            let mut findings: Vec<_> =
+                rules::run_all(&krate.name, &file.rel_path, &file.scanned.tokens, config)
+                    .into_iter()
+                    .map(|f| (f, None))
+                    .collect();
+            if let Some((_, ws)) = by_file.remove(&file.rel_path) {
+                findings.extend(ws);
+            }
+            out.extend(resolve(
+                &krate.name,
+                &file.rel_path,
+                &file.scanned.directives,
+                &file.test_ranges,
+                findings,
+                config,
+            ));
+        }
+    }
+    // Findings anchored on files outside the model (e.g. a layering
+    // cycle naming a crate with no manifest on disk) resolve with no
+    // directives in scope.
+    for (file, (crate_name, findings)) in by_file {
+        out.extend(resolve(&crate_name, &file, &[], &[], findings, config));
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(out)
 }
 
@@ -259,7 +277,7 @@ pub fn load_config(root: &Path) -> Result<Config, String> {
 }
 
 /// Extracts `name = "..."` from the `[package]` section of a manifest.
-fn package_name(manifest: &str) -> Option<String> {
+pub(crate) fn package_name(manifest: &str) -> Option<String> {
     let mut in_package = false;
     for line in manifest.lines() {
         let line = line.trim();
@@ -276,18 +294,6 @@ fn package_name(manifest: &str) -> Option<String> {
         }
     }
     None
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    for entry in fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -10,16 +10,19 @@ use std::process::ExitCode;
 
 use ecas_lint::{diag::Tally, lint_workspace, load_config, rules};
 
-const USAGE: &str = "usage: ecas-lint [--root <dir>] [--list-rules] [--quiet]
+const USAGE: &str = "usage: ecas-lint [--root <dir>] [--list-rules] [--quiet] [--json]
 
 Lints library code of every first-party workspace crate against the rules
 configured in <root>/lint.toml. Exits 0 when clean, 1 on deny findings,
-2 on usage or I/O errors.";
+2 on usage or I/O errors. With --json, findings stream to stdout as one
+JSON object per line and the summary moves to stderr, so the report can
+be redirected into a CI artifact.";
 
 fn main() -> ExitCode {
     let mut root = None;
     let mut list_rules = false;
     let mut quiet = false;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -33,6 +36,7 @@ fn main() -> ExitCode {
             },
             "--list-rules" => list_rules = true,
             "--quiet" => quiet = true,
+            "--json" => json = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -68,16 +72,25 @@ fn main() -> ExitCode {
         }
     };
 
-    if !quiet {
+    if json {
+        for d in &diagnostics {
+            println!("{}", d.to_json());
+        }
+    } else if !quiet {
         for d in &diagnostics {
             println!("{d}");
         }
     }
     let tally = Tally::of(&diagnostics);
-    println!(
+    let summary = format!(
         "ecas-lint: {} deny, {} warn finding(s)",
         tally.deny, tally.warn
     );
+    if json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
     if tally.deny > 0 {
         ExitCode::FAILURE
     } else {

@@ -7,7 +7,7 @@ use crate::scan::{matching_close, Kind, Token};
 
 /// A rule match before severity resolution and allow-filtering.
 #[derive(Debug, Clone)]
-pub struct RawFinding {
+pub(crate) struct RawFinding {
     /// 1-based source line.
     pub line: u32,
     /// Rule identifier (kebab-case, as used in `lint.toml` and allows).
@@ -56,6 +56,22 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "wall-clock",
         "raw Instant/SystemTime only inside the sanctioned ecas-obs perf seam",
+    ),
+    (
+        "layering",
+        "crate dependency edges must stay inside the sanctioned [layering] DAG",
+    ),
+    (
+        "hot-path-alloc",
+        "no allocating calls inside loops of [hot-paths] functions",
+    ),
+    (
+        "obs-name-registry",
+        "metric name literals must be registered in the checked-in obs name registry",
+    ),
+    (
+        "pub-surface",
+        "pub items of library crates must be referenced by another workspace crate",
     ),
 ];
 
@@ -148,13 +164,13 @@ const WALL_CLOCK_IDENTS: &[&str] = &[
 /// code. Panic-safety is a library-code invariant: a CLI `main` aborting
 /// with a message *is* its error path.
 #[must_use]
-pub fn is_binary_target(rel_path: &str) -> bool {
+pub(crate) fn is_binary_target(rel_path: &str) -> bool {
     rel_path.ends_with("src/main.rs") || rel_path.contains("src/bin/")
 }
 
 /// Runs every token-level rule over one file.
 #[must_use]
-pub fn run_all(
+pub(crate) fn run_all(
     crate_name: &str,
     rel_path: &str,
     tokens: &[Token],

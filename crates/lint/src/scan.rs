@@ -11,7 +11,7 @@
 
 /// The coarse classification of a token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Kind {
+pub(crate) enum Kind {
     /// An identifier or keyword (`foo`, `fn`, `r#async` → `async`).
     Ident,
     /// A numeric literal, kept verbatim (`42`, `1.5e-3`, `0xEC`).
@@ -22,7 +22,7 @@ pub enum Kind {
 
 /// One scanned token with its 1-based source line.
 #[derive(Debug, Clone)]
-pub struct Token {
+pub(crate) struct Token {
     /// Token classification.
     pub kind: Kind,
     /// Verbatim token text (for raw identifiers, without the `r#` prefix).
@@ -60,7 +60,7 @@ impl Token {
 
 /// An `// ecas-lint: allow(rule, ..., reason = "...")` directive.
 #[derive(Debug, Clone)]
-pub struct Directive {
+pub(crate) struct Directive {
     /// 1-based line the directive comment sits on.
     pub line: u32,
     /// Rules the directive names.
@@ -74,13 +74,31 @@ pub struct Directive {
     pub malformed: Option<String>,
 }
 
+/// A string literal's content and position. Literals are stripped from the
+/// token stream (so rule patterns never fire on payload text); the
+/// workspace rules that *do* care about literal contents — the obs-name
+/// registry — read them from this side table instead.
+#[derive(Debug, Clone)]
+pub(crate) struct StrLit {
+    /// 1-based line the literal starts on.
+    pub line: u32,
+    /// Literal content, verbatim (escape sequences unprocessed).
+    pub text: String,
+    /// Index into `tokens` of the first token *after* the literal.
+    /// Literals produce no token of their own, so this anchors them
+    /// between `tokens[anchor - 1]` and `tokens[anchor]`.
+    pub anchor: usize,
+}
+
 /// The result of scanning one source file.
 #[derive(Debug, Default)]
-pub struct Scanned {
+pub(crate) struct Scanned {
     /// Code tokens in source order.
     pub tokens: Vec<Token>,
     /// Lint directives found in comments, in source order.
     pub directives: Vec<Directive>,
+    /// String literals in source order, anchored into `tokens`.
+    pub strings: Vec<StrLit>,
 }
 
 /// Multi-character operators, longest first so matching can be greedy.
@@ -94,7 +112,7 @@ const DIRECTIVE_PREFIX: &str = "ecas-lint:";
 
 /// Scans `source`, producing tokens and directives.
 #[must_use]
-pub fn scan(source: &str) -> Scanned {
+pub(crate) fn scan(source: &str) -> Scanned {
     Scanner::new(source).run()
 }
 
@@ -203,6 +221,8 @@ impl Scanner {
     /// Consumes the body of a raw string until `"` followed by `hashes`
     /// `#` characters.
     fn raw_string_tail(&mut self, hashes: usize) {
+        let line = self.line;
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             if c == '"' {
                 let mut seen = 0;
@@ -211,10 +231,26 @@ impl Scanner {
                     seen += 1;
                 }
                 if seen == hashes {
+                    self.record_string(line, text);
                     return;
                 }
+                text.push('"');
+                for _ in 0..seen {
+                    text.push('#');
+                }
+            } else {
+                text.push(c);
             }
         }
+        self.record_string(line, text);
+    }
+
+    fn record_string(&mut self, line: u32, text: String) {
+        self.out.strings.push(StrLit {
+            line,
+            text,
+            anchor: self.out.tokens.len(),
+        });
     }
 
     fn line_comment(&mut self) {
@@ -263,16 +299,22 @@ impl Scanner {
     }
 
     fn string_literal(&mut self) {
+        let line = self.line;
         self.bump(); // opening quote
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump();
+                    text.push(c);
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
                 }
-                '"' => return,
-                _ => {}
+                '"' => break,
+                _ => text.push(c),
             }
         }
+        self.record_string(line, text);
     }
 
     /// Distinguishes char literals (`'a'`, `'\n'`) from lifetimes
@@ -382,7 +424,9 @@ impl Scanner {
 
 /// Parses the payload of a directive comment, e.g.
 /// `allow(panic-safety, reason = "segment index is ladder-validated")`.
-fn parse_directive(rest: &str) -> Directive {
+/// Shared with the manifest scanner, which finds the same directives in
+/// `Cargo.toml` `#` comments.
+pub(crate) fn parse_directive(rest: &str) -> Directive {
     let mut directive = Directive {
         line: 0,
         rules: Vec::new(),
@@ -462,7 +506,7 @@ fn parse_directive(rest: &str) -> Directive {
 /// items — test modules, functions or statements embedded in library
 /// source. Rules skip findings on these lines.
 #[must_use]
-pub fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -526,7 +570,7 @@ fn skip_attr(tokens: &[Token], i: usize) -> usize {
 /// Index of the token closing the group opened at `open_idx`; saturates at
 /// the last token when unbalanced.
 #[must_use]
-pub fn matching_close(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> usize {
+pub(crate) fn matching_close(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> usize {
     let mut depth = 0usize;
     let mut j = open_idx;
     while let Some(t) = tokens.get(j) {
@@ -628,6 +672,24 @@ mod tests {
     fn malformed_directive_is_flagged() {
         let s = scan("// ecas-lint: allow panic-safety\n");
         assert!(s.directives[0].malformed.is_some());
+    }
+
+    #[test]
+    fn string_literals_are_recorded_with_anchors() {
+        let s = scan("r.add(\"sim/stalls\", 1);");
+        // tokens: r . add ( , 1 ) ;   — the literal anchors at the `,`.
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].text, "sim/stalls");
+        assert_eq!(s.strings[0].line, 1);
+        assert!(s.tokens[s.strings[0].anchor].is_punct(","));
+        assert!(s.tokens[s.strings[0].anchor - 1].is_punct("("));
+    }
+
+    #[test]
+    fn raw_string_literals_are_recorded() {
+        let s = scan(r####"let s = r#"a "quoted" b"#;"####);
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].text, "a \"quoted\" b");
     }
 
     #[test]

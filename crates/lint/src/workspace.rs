@@ -1,0 +1,350 @@
+//! The workspace model: per-crate dependency edges read from each
+//! `Cargo.toml` (with line numbers, so layering findings anchor on the
+//! offending dep), parsed+scanned library sources with item tables, and
+//! conservative word-level reference indexes used by the pub-surface and
+//! obs-name rules.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::item::{self, Item};
+use crate::scan::{self, Directive, Scanned};
+
+/// One first-party dependency edge declared in a manifest.
+#[derive(Debug, Clone)]
+pub(crate) struct ManifestDep {
+    /// Target crate name.
+    pub name: String,
+    /// 1-based line of the dependency declaration in the manifest.
+    pub line: u32,
+}
+
+/// One scanned library source file.
+#[derive(Debug)]
+pub(crate) struct FileModel {
+    /// Workspace-relative path (diagnostics anchor).
+    pub rel_path: String,
+    /// Scanner output: tokens, directives, string literals.
+    pub scanned: Scanned,
+    /// Item table from [`item::parse_items`].
+    pub items: Vec<Item>,
+    /// `#[cfg(test)]` line ranges — findings inside are skipped.
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+/// One first-party workspace crate.
+#[derive(Debug)]
+pub(crate) struct CrateModel {
+    /// Package name (e.g. `ecas-sim`).
+    pub name: String,
+    /// Workspace-relative path of the crate's `Cargo.toml`.
+    pub manifest_rel: String,
+    /// `# ecas-lint: allow(...)` directives found in manifest comments.
+    pub manifest_directives: Vec<Directive>,
+    /// First-party `[dependencies]` edges.
+    pub deps: Vec<ManifestDep>,
+    /// Scanned `src/**/*.rs` files, sorted by path.
+    pub files: Vec<FileModel>,
+    /// Words (identifier-shaped substrings) appearing anywhere in the
+    /// crate's *external* spaces — `src/main.rs`, `src/bin/**`,
+    /// `tests/**`, `benches/**`, `examples/**`. A pub item named here is
+    /// used by a dependent target of its own crate.
+    pub ext_words: BTreeSet<String>,
+    /// Words appearing anywhere in the crate at all (library sources,
+    /// comments and docs included, plus the external spaces). Used as the
+    /// conservative cross-crate reference index: doc examples and macro
+    /// bodies count as references, so pub-surface never flags an item a
+    /// doctest depends on.
+    pub all_words: BTreeSet<String>,
+    /// Words appearing in the crate's own doc comments (`///`, `//!`).
+    /// Doctests compile against the crate's *external* interface, so an
+    /// item named in its own crate's docs must stay `pub`.
+    pub doc_words: BTreeSet<String>,
+}
+
+/// The loaded workspace: every first-party crate, sorted by name.
+#[derive(Debug)]
+pub struct WorkspaceModel {
+    /// Crates in name order.
+    pub(crate) crates: Vec<CrateModel>,
+}
+
+impl WorkspaceModel {
+    /// Loads the model for the workspace at `root`, honouring the
+    /// config's `exclude` path prefixes.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from reading the tree.
+    pub fn load(root: &Path, config: &Config) -> io::Result<Self> {
+        let mut crate_dirs = vec![root.to_path_buf()];
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            for entry in fs::read_dir(&crates_dir)? {
+                crate_dirs.push(entry?.path());
+            }
+        }
+        crate_dirs.sort();
+
+        let mut crates = Vec::new();
+        for dir in crate_dirs {
+            let manifest_path = dir.join("Cargo.toml");
+            let src = dir.join("src");
+            if !manifest_path.is_file() || !src.is_dir() {
+                continue;
+            }
+            let manifest_text = fs::read_to_string(&manifest_path)?;
+            let Some(name) = crate::package_name(&manifest_text) else {
+                continue;
+            };
+            let manifest_rel = rel(root, &manifest_path);
+            if config.is_excluded(&manifest_rel) {
+                continue;
+            }
+
+            let mut files = Vec::new();
+            let mut rs_files = Vec::new();
+            collect_rs(&src, &mut rs_files)?;
+            rs_files.sort();
+            let mut all_words = BTreeSet::new();
+            let mut doc_words = BTreeSet::new();
+            for path in rs_files {
+                let rel_path = rel(root, &path);
+                if config.is_excluded(&rel_path) {
+                    continue;
+                }
+                let source = fs::read_to_string(&path)?;
+                collect_words(&source, &mut all_words);
+                collect_doc_words(&source, &mut doc_words);
+                let scanned = scan::scan(&source);
+                let items = item::parse_items(&scanned.tokens);
+                let test_ranges = scan::test_line_ranges(&scanned.tokens);
+                files.push(FileModel {
+                    rel_path,
+                    scanned,
+                    items,
+                    test_ranges,
+                });
+            }
+
+            let mut ext_words = BTreeSet::new();
+            for sub in ["tests", "benches", "examples"] {
+                collect_space_words(&dir.join(sub), &mut ext_words)?;
+            }
+            let main_rs = src.join("main.rs");
+            if main_rs.is_file() {
+                collect_words(&fs::read_to_string(&main_rs)?, &mut ext_words);
+            }
+            collect_space_words(&src.join("bin"), &mut ext_words)?;
+            all_words.extend(ext_words.iter().cloned());
+
+            crates.push(CrateModel {
+                name,
+                manifest_rel,
+                manifest_directives: manifest_directives(&manifest_text),
+                deps: manifest_deps(&manifest_text),
+                files,
+                ext_words,
+                all_words,
+                doc_words,
+            });
+        }
+        crates.sort_by(|a, b| a.name.cmp(&b.name));
+
+        // Keep only first-party dep edges (vendored/external crates are
+        // not part of the layering contract).
+        let names: BTreeSet<String> = crates.iter().map(|c| c.name.clone()).collect();
+        for krate in &mut crates {
+            krate.deps.retain(|d| names.contains(&d.name));
+        }
+        Ok(Self { crates })
+    }
+
+    /// Finds a crate by name.
+    #[must_use]
+    pub(crate) fn by_name(&self, name: &str) -> Option<&CrateModel> {
+        self.crates.iter().find(|c| c.name == name)
+    }
+
+    /// Finds the file with the given workspace-relative path.
+    #[must_use]
+    pub(crate) fn file(&self, rel_path: &str) -> Option<(&CrateModel, &FileModel)> {
+        for krate in &self.crates {
+            for file in &krate.files {
+                if file.rel_path == rel_path {
+                    return Some((krate, file));
+                }
+            }
+        }
+        None
+    }
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Adds every identifier-shaped word in the doc-comment lines (`///`,
+/// `//!`) of `text` to `out`.
+fn collect_doc_words(text: &str, out: &mut BTreeSet<String>) {
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed
+            .strip_prefix("///")
+            .or_else(|| trimmed.strip_prefix("//!"))
+        {
+            collect_words(rest, out);
+        }
+    }
+}
+
+/// Adds every identifier-shaped word in `text` to `out`.
+fn collect_words(text: &str, out: &mut BTreeSet<String>) {
+    for word in text.split(|c: char| !(c.is_alphanumeric() || c == '_')) {
+        if !word.is_empty() && !word.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            out.insert(word.to_string());
+        }
+    }
+}
+
+/// Recursively collects words from every `.rs` file under `dir` (which
+/// may not exist).
+fn collect_space_words(dir: &Path, out: &mut BTreeSet<String>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut files = Vec::new();
+    collect_rs(dir, &mut files)?;
+    for path in files {
+        collect_words(&fs::read_to_string(&path)?, out);
+    }
+    Ok(())
+}
+
+/// Extracts first-party-candidate dependency names (with their 1-based
+/// line) from the `[dependencies]` section of a manifest, including
+/// `[dependencies.name]` table headers. Dev- and build-dependencies are
+/// test/build plumbing, not runtime layering edges.
+fn manifest_deps(manifest: &str) -> Vec<ManifestDep> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for (idx, raw) in manifest.lines().enumerate() {
+        let line = toml_code_part(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if let Some(name) = line
+                .strip_prefix("[dependencies.")
+                .and_then(|r| r.strip_suffix(']'))
+            {
+                deps.push(ManifestDep {
+                    name: name.trim().trim_matches('"').to_string(),
+                    line: u32::try_from(idx + 1).unwrap_or(u32::MAX),
+                });
+                in_deps = false;
+            } else {
+                in_deps = line == "[dependencies]";
+            }
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        if let Some((key, _)) = line.split_once('=') {
+            deps.push(ManifestDep {
+                name: key.trim().trim_matches('"').to_string(),
+                line: u32::try_from(idx + 1).unwrap_or(u32::MAX),
+            });
+        }
+    }
+    deps
+}
+
+/// Finds `# ecas-lint: allow(...)` directives in manifest comments, with
+/// the same trailing/standalone semantics as Rust line comments.
+fn manifest_directives(manifest: &str) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for (idx, raw) in manifest.lines().enumerate() {
+        let code = toml_code_part(raw);
+        let comment = &raw[code.len()..];
+        let Some(body) = comment.strip_prefix('#') else {
+            continue;
+        };
+        let body = body.trim();
+        if let Some(rest) = body.strip_prefix("ecas-lint:") {
+            let mut directive = scan::parse_directive(rest.trim());
+            directive.line = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+            directive.standalone = code.trim().is_empty();
+            out.push(directive);
+        }
+    }
+    out
+}
+
+/// The part of a TOML line before any `#` comment (quote-aware).
+fn toml_code_part(line: &str) -> &str {
+    let mut in_quotes = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            '#' if !in_quotes => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_deps_parse_inline_and_table_forms() {
+        let m = "[package]\nname = \"x\"\n\n[dependencies]\necas-types = { path = \"../types\" }\nserde = { workspace = true }\n\n[dependencies.ecas-obs]\npath = \"../obs\"\n\n[dev-dependencies]\necas-bench = { path = \"../bench\" }\n";
+        let deps = manifest_deps(m);
+        let names: Vec<_> = deps.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["ecas-types", "serde", "ecas-obs"]);
+        assert_eq!(deps[0].line, 5);
+    }
+
+    #[test]
+    fn manifest_directives_have_toml_comment_semantics() {
+        let m = "[dependencies]\n# ecas-lint: allow(layering, reason = \"transitional\")\necas-sim = { path = \"../sim\" }\necas-abr = { path = \"../abr\" } # ecas-lint: allow(layering, reason = \"scores\")\n";
+        let ds = manifest_directives(m);
+        assert_eq!(ds.len(), 2);
+        assert!(ds[0].standalone);
+        assert_eq!(ds[0].line, 2);
+        assert!(!ds[1].standalone);
+        assert_eq!(ds[1].line, 4);
+        assert_eq!(ds[1].rules, ["layering"]);
+    }
+
+    #[test]
+    fn words_are_identifier_shaped() {
+        let mut w = BTreeSet::new();
+        collect_words("let abr_edges = graph.dijkstra(2); // Graph", &mut w);
+        assert!(w.contains("abr_edges"));
+        assert!(w.contains("dijkstra"));
+        assert!(w.contains("Graph"));
+        assert!(!w.contains("2"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: allocation patterns inside and outside hot loops.
+
+pub fn hot_loop(xs: &[u32]) -> usize {
+    let mut total = 0;
+    for x in xs {
+        let label = format!("x={x}");
+        let copy = xs.to_vec();
+        total += label.len() + copy.len();
+    }
+    total
+}
+
+pub fn cold_loop(xs: &[u32]) -> usize {
+    let mut total = 0;
+    for x in xs {
+        let label = format!("x={x}");
+        total += label.len();
+    }
+    total
+}
+
+pub fn hot_allowed(xs: &[u32]) -> usize {
+    let mut total = 0;
+    for x in xs {
+        let label = format!("x={x}"); // ecas-lint: allow(hot-path-alloc, reason = "label built at most twice per session")
+        total += label.len();
+    }
+    total
+}

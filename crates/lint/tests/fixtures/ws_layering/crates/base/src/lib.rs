@@ -1,0 +1,3 @@
+//! Fixture crate: the bottom layer.
+
+pub struct Base;

@@ -1,0 +1,3 @@
+//! Fixture crate: the middle layer.
+
+pub struct Mid;

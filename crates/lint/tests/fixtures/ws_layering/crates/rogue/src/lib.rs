@@ -1,0 +1,3 @@
+//! Fixture crate: depends on layers it is not sanctioned to touch.
+
+pub struct Rogue;

@@ -1,0 +1,3 @@
+//! Fixture crate: the top layer.
+
+pub struct Top;

@@ -1,0 +1,3 @@
+//! Fixture crate: half of a dependency cycle.
+
+pub struct A;

@@ -1,0 +1,3 @@
+//! Fixture crate: the other half of a dependency cycle.
+
+pub struct B;

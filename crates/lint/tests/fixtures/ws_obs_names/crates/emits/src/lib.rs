@@ -1,0 +1,13 @@
+//! Fixture: metric emission sites.
+
+pub struct Probe;
+
+impl Probe {
+    pub fn add(&self, _name: &str, _v: u64) {}
+}
+
+pub fn run(p: &Probe) {
+    p.add("good/counter", 1);
+    p.add("rogue/counter", 1);
+    p.add("pardoned/counter", 1); // ecas-lint: allow(obs-name-registry, reason = "fixture: justified off-registry name")
+}

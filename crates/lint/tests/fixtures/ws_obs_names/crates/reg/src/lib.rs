@@ -1,0 +1,3 @@
+//! Fixture registry crate.
+
+pub mod names;

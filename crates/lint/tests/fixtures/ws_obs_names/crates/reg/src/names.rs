@@ -1,0 +1,4 @@
+//! Fixture metric-name registry: one `pub const` per line.
+
+pub const GOOD_COUNTER: &str = "good/counter";
+pub const STALE_COUNTER: &str = "stale/counter";

@@ -1,0 +1,10 @@
+//! Fixture: pub items with and without external references.
+
+pub struct Used;
+
+pub struct Unused;
+
+pub fn orphan() {}
+
+// ecas-lint: allow(pub-surface, reason = "kept public for downstream scripts outside the workspace")
+pub fn pardoned() {}

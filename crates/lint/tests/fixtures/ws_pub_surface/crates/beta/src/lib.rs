@@ -1,0 +1,7 @@
+//! Fixture: exempt crate that references alpha's `Used` type.
+
+pub fn touch_alpha() -> &'static str {
+    "Used"
+}
+
+pub struct Hidden;

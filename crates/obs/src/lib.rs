@@ -67,68 +67,13 @@
 
 pub mod manifest;
 pub mod metrics;
+pub mod names;
 pub mod perf;
 pub mod probe;
 pub mod recorder;
 pub mod render;
 
 pub use manifest::{fnv1a_64, stable_hash, RunManifest, TraceRef};
-
-/// Canonical counter names shared across the workspace.
-///
-/// The sweep cache (see `ecas-core`'s `sweep` module and the README
-/// "Result caching" section) reports every lookup against these names so
-/// observed runs expose their cache behaviour in `metrics.txt`:
-///
-/// * one [`SWEEP_CACHE_HIT`](counters::SWEEP_CACHE_HIT) per grid cell
-///   served from the on-disk cache;
-/// * one [`SWEEP_CACHE_MISS`](counters::SWEEP_CACHE_MISS) per cell that
-///   had to be computed (absent *or* invalid entries both count — a
-///   corrupt entry is a miss plus a
-///   [`SWEEP_CACHE_CORRUPT`](counters::SWEEP_CACHE_CORRUPT));
-/// * one [`SWEEP_CACHE_WRITE_ERROR`](counters::SWEEP_CACHE_WRITE_ERROR)
-///   per failed store — store failures degrade to recomputation and are
-///   never fatal.
-///
-/// On a fully warm cache the simulator never runs, so `sim/*` counters
-/// stay at zero while `sweep/cache_hit` equals the grid size.
-pub mod counters {
-    /// A grid cell was served from the on-disk result cache.
-    pub const SWEEP_CACHE_HIT: &str = "sweep/cache_hit";
-    /// A grid cell had to be computed (no valid cache entry).
-    pub const SWEEP_CACHE_MISS: &str = "sweep/cache_miss";
-    /// A cache entry existed but failed validation and was discarded.
-    pub const SWEEP_CACHE_CORRUPT: &str = "sweep/cache_corrupt";
-    /// A computed result could not be persisted to the cache.
-    pub const SWEEP_CACHE_WRITE_ERROR: &str = "sweep/cache_write_error";
-
-    /// A session replay (see `ecas-core`'s `oracle` module) matched the
-    /// simulator's result field-for-field.
-    pub const ORACLE_REPLAY_PASS: &str = "oracle/replay_pass";
-    /// A session replay diverged from the simulator's result.
-    pub const ORACLE_REPLAY_FAIL: &str = "oracle/replay_fail";
-    /// A replay check was skipped because no event log was recorded.
-    pub const ORACLE_REPLAY_SKIP: &str = "oracle/replay_skip";
-    /// A differential check confirmed the online objective never beats
-    /// the shortest-path optimal.
-    pub const ORACLE_OBJECTIVE_PASS: &str = "oracle/objective_pass";
-    /// A differential check found an online objective below the optimal
-    /// — an optimality violation in the planner or the objective.
-    pub const ORACLE_OBJECTIVE_FAIL: &str = "oracle/objective_fail";
-
-    /// One constant-state chunk processed by the radio-energy integration
-    /// kernel (`ecas-sim`'s `radio` module) inside the download loop —
-    /// the deterministic work measure of the simulator's hottest path.
-    pub const SIM_INTEGRATION_CHUNKS: &str = "sim/integration_chunks";
-
-    /// A Dijkstra label settled (heap pop expanded) by the Eq. (11)
-    /// shortest-path optimal solver (`ecas-abr`'s `graph` module).
-    pub const ABR_LABELS_EXPANDED: &str = "abr/labels_expanded";
-    /// A stale Dijkstra heap entry skipped without expansion.
-    pub const ABR_LABELS_PRUNED: &str = "abr/labels_pruned";
-    /// An edge relaxation that improved a tentative distance.
-    pub const ABR_EDGES_RELAXED: &str = "abr/edges_relaxed";
-}
 pub use metrics::{
     HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SpanSnapshot, DEFAULT_BUCKETS,
 };

@@ -225,6 +225,7 @@ impl MetricsSnapshot {
 
 /// One histogram's state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "part of the crate's re-exported public API surface")
 pub struct HistogramSnapshot {
     /// Metric name.
     pub name: String,
@@ -248,6 +249,7 @@ impl HistogramSnapshot {
 
 /// One span timer's statistics.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "part of the crate's re-exported public API surface")
 pub struct SpanSnapshot {
     /// Span name.
     pub name: String,

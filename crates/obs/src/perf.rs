@@ -162,6 +162,7 @@ impl Profiler {
 /// An open hierarchical span; records its elapsed wall-clock time on
 /// drop. Created by [`Profiler::span`].
 #[derive(Debug)]
+// ecas-lint: allow(pub-surface, reason = "guard type returned by the public Profiler::span")
 pub struct ProfilerSpan<'p> {
     profiler: &'p Profiler,
     path: String,

@@ -8,7 +8,7 @@
 //! rate with measurement noise and integrated, yielding the "measured"
 //! energy that Table VI compares against the model's "calculated" energy.
 
-use ecas_obs::{Probe, SpanGuard};
+use ecas_obs::{names, Probe, SpanGuard};
 use ecas_trace::sample::PowerSample;
 use ecas_trace::series::TimeSeries;
 use ecas_types::units::{Joules, Seconds, Watts};
@@ -152,13 +152,13 @@ impl PowerMonitor {
         profile: &PowerProfile,
         probe: &dyn Probe,
     ) -> TimeSeries<PowerSample> {
-        let span = SpanGuard::new(probe, "power/measure");
+        let span = SpanGuard::new(probe, names::POWER_MEASURE_SPAN);
         let trace = self.sample(profile);
         drop(span);
         if probe.metrics_enabled() {
-            probe.add("power/measurements", 1);
-            probe.gauge("power/measured_j", trace.integrate_energy().value());
-            probe.gauge("power/exact_j", profile.exact_energy().value());
+            probe.add(names::POWER_MEASUREMENTS, 1);
+            probe.gauge(names::POWER_MEASURED_J, trace.integrate_energy().value());
+            probe.gauge(names::POWER_EXACT_J, profile.exact_energy().value());
         }
         trace
     }

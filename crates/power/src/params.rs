@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 /// `β(s) = β0 + β1·max(0, s_ref − s)` and
 /// `α(s) = α0·(1 + α1·max(0, s_ref − s))`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "part of the crate's re-exported public API surface")
 pub struct RadioPowerParams {
     /// Baseline radio power at the reference signal (W).
     pub beta0: f64,
@@ -62,6 +63,7 @@ impl RadioPowerParams {
 /// Parameters of the playback power model
 /// `P_play(r) = screen + γ0 + γ1·r`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "part of the crate's re-exported public API surface")
 pub struct PlaybackPowerParams {
     /// Screen power while the video is on screen (W).
     pub screen: f64,

@@ -35,6 +35,7 @@ pub struct TaskConditions {
 
 /// Energy breakdown of one task.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "result type of the public TaskEnergyModel::energy")
 pub struct TaskEnergy {
     /// Radio energy spent downloading.
     pub download: Joules,

@@ -21,6 +21,7 @@ use crate::monitor::{PowerMonitor, PowerProfile};
 
 /// One row of the Table VI reproduction.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "row type returned by the public validate()")
 pub struct ValidationRow {
     /// Video bitrate.
     pub bitrate: Mbps,

@@ -48,6 +48,7 @@ impl std::error::Error for FitError {}
 
 /// Goodness-of-fit summary.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "result type of the public fitting entry points")
 pub struct FitReport {
     /// Root-mean-square error of the fit on the training data.
     pub rmse: f64,
@@ -69,7 +70,7 @@ pub struct FitReport {
 /// # Panics
 ///
 /// Panics if `x.len() != y.len() * cols`.
-pub fn linear_least_squares(x: &[f64], y: &[f64], cols: usize) -> Result<Vec<f64>, FitError> {
+pub(crate) fn linear_least_squares(x: &[f64], y: &[f64], cols: usize) -> Result<Vec<f64>, FitError> {
     assert_eq!(
         x.len(),
         y.len() * cols,

@@ -94,6 +94,7 @@ impl ImpairmentParams {
 /// paper does not publish the weights; these defaults are documented
 /// assumptions (see `DESIGN.md`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "part of the crate's re-exported public API surface")
 pub struct PenaltyParams {
     /// Weight of `|q0(r_i) − q0(r_{i−1})|` per segment transition.
     pub switch_mu: f64,

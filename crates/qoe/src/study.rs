@@ -24,6 +24,7 @@ use crate::quality::OriginalQuality;
 
 /// One rating produced by one subject for one clip.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "sample type consumed by the public MOS aggregation API")
 pub struct Rating {
     /// Subject index (0-based).
     pub subject: usize,
@@ -176,6 +177,7 @@ fn gauss(rng: &mut SmallRng) -> f64 {
 /// the per-content quality differences behind the Fig. 2(a) video-set
 /// design.
 #[must_use]
+// ecas-lint: allow(pub-surface, reason = "Fig. 2(a) aggregation is paper-facing API; exercised by unit tests")
 pub fn mos_by_video(ratings: &[Rating]) -> Vec<(String, f64)> {
     let mut cells: Vec<(String, f64, usize)> = Vec::new();
     for r in ratings {

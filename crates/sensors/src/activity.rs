@@ -19,6 +19,7 @@ use crate::vibration::vibration_level;
 
 /// Decision thresholds of the classifier.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// ecas-lint: allow(pub-surface, reason = "config consumed by the public ActivityClassifier constructors")
 pub struct ClassifierConfig {
     /// Below this vibration level everything is a quiet room (m/s²).
     pub quiet_below: f64,
@@ -66,7 +67,7 @@ pub fn classify(samples: &[AccelSample]) -> Option<Context> {
 
 /// [`classify`] with explicit thresholds.
 #[must_use]
-pub fn classify_with(samples: &[AccelSample], config: &ClassifierConfig) -> Option<Context> {
+pub(crate) fn classify_with(samples: &[AccelSample], config: &ClassifierConfig) -> Option<Context> {
     let level = vibration_level(samples)?;
     Some(decide(level, samples, config))
 }
@@ -90,7 +91,7 @@ fn decide(level: MetersPerSec2, samples: &[AccelSample], config: &ClassifierConf
 /// Peak normalized autocorrelation of the magnitude signal over the gait
 /// period range. Zero for too-short or constant inputs.
 #[must_use]
-pub fn gait_score(samples: &[AccelSample], config: &ClassifierConfig) -> f64 {
+pub(crate) fn gait_score(samples: &[AccelSample], config: &ClassifierConfig) -> f64 {
     if samples.len() < 16 {
         return 0.0;
     }

@@ -27,11 +27,11 @@ use ecas_types::units::{MetersPerSec2, Seconds};
 use crate::window::SlidingWindow;
 
 /// The fraction of `W` actually used for the online estimate (`0.2 * W`).
-pub const WINDOW_FRACTION: f64 = 0.2;
+pub(crate) const WINDOW_FRACTION: f64 = 0.2;
 
 /// Returns the paper's default window `W = 30 s` (Section IV-B).
 #[must_use]
-pub fn default_window() -> Seconds {
+pub(crate) fn default_window() -> Seconds {
     Seconds::new(30.0)
 }
 

@@ -51,6 +51,17 @@ pub struct DecisionContext<'a> {
     pub signal: Dbm,
 }
 
+impl DecisionContext<'_> {
+    /// The throughput observations recorded after the first `seen`
+    /// entries — what an incremental estimator has not consumed yet.
+    /// Out-of-range `seen` (e.g. stale state from a previous session)
+    /// yields an empty slice rather than panicking.
+    #[must_use]
+    pub fn history_since(&self, seen: usize) -> &[ThroughputObservation] {
+        self.history.get(seen..).unwrap_or_default()
+    }
+}
+
 /// A scheduling decision: download the next segment now, or wait.
 ///
 /// Deferral is the opportunistic-scheduling hook (the paper's refs

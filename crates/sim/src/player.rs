@@ -1,6 +1,6 @@
 //! The trace-driven player simulator.
 
-use ecas_obs::{counters, Probe, SpanGuard, NULL_PROBE};
+use ecas_obs::{names, Probe, SpanGuard, NULL_PROBE};
 use ecas_power::model::PowerModel;
 use ecas_qoe::model::QoeModel;
 use ecas_sensors::vibration::VibrationEstimator;
@@ -21,7 +21,7 @@ use crate::result::{EnergyBreakdown, SessionResult, TaskRecord};
 ///
 /// Public so the replay oracle (`ecas-core::oracle`) can re-derive the
 /// effective link rate the download loop actually used.
-pub const MIN_THROUGHPUT_MBPS: f64 = 0.01;
+pub(crate) const MIN_THROUGHPUT_MBPS: f64 = 0.01;
 
 /// Deferral waits shorter than this are pointless (the re-decide loop
 /// would spin); a deferring controller with less buffer slack than the
@@ -267,7 +267,7 @@ impl Simulator {
                 // Stall until more data arrives (i.e. until `to`).
                 if !state.in_stall {
                     state.in_stall = true;
-                    state.probe.add("sim/stalls", 1);
+                    state.probe.add(names::SIM_STALLS, 1);
                     state.log(SessionEvent::StallStart {
                         at: Seconds::new(t),
                     });
@@ -424,7 +424,7 @@ impl Simulator {
             // 1. If the buffer is too full for another segment, idle.
             if state.buffer > b_max - tau {
                 let wait = state.buffer - (b_max - tau);
-                probe.add("sim/idle_waits", 1);
+                probe.add(names::SIM_IDLE_WAITS, 1);
                 state.log(SessionEvent::IdleWait {
                     at: Seconds::new(t),
                     duration: Seconds::new(wait),
@@ -437,7 +437,7 @@ impl Simulator {
             // honor deferrals (re-deciding after each wait) while the
             // buffer affords them.
             let mut vibration;
-            let decision_span = SpanGuard::new(probe, "sim/decision");
+            let decision_span = SpanGuard::new(probe, names::SIM_DECISION_SPAN);
             let level = loop {
                 close_outage(&mut state, &mut open_outage, t);
                 while let Some(&sample) = accel.get(accel_cursor) {
@@ -480,7 +480,7 @@ impl Simulator {
                         // unlike `clamp(floor, slack)`.
                         let slack = state.buffer - tau;
                         let wait = wait.value().min(slack).max(slack.min(DEFER_FLOOR));
-                        probe.add("sim/deferrals", 1);
+                        probe.add(names::SIM_DEFERRALS, 1);
                         state.log(SessionEvent::Deferred {
                             at: Seconds::new(t),
                             duration: Seconds::new(wait),
@@ -541,7 +541,7 @@ impl Simulator {
             let mut attempt = 1usize;
             let mut attempt_start = t;
             let mut degraded = false;
-            let download_span = SpanGuard::new(probe, "sim/download");
+            let download_span = SpanGuard::new(probe, names::SIM_DOWNLOAD_SPAN);
             'attempts: loop {
                 let deadline = (fault.is_some() && !degraded)
                     .then(|| attempt_start + policy.attempt_timeout.value());
@@ -576,7 +576,7 @@ impl Simulator {
                         if let Some((_, end)) =
                             fault.and_then(|p| p.outage_containing(Seconds::new(t)))
                         {
-                            probe.add("sim/outages", 1);
+                            probe.add(names::SIM_OUTAGES, 1);
                             state.log(SessionEvent::OutageStart {
                                 at: Seconds::new(t),
                             });
@@ -612,7 +612,7 @@ impl Simulator {
                     self.advance(&mut state, t, chunk_end);
                     t = chunk_end;
                 }
-                probe.add(counters::SIM_INTEGRATION_CHUNKS, attempt_chunks);
+                probe.add(names::SIM_INTEGRATION_CHUNKS, attempt_chunks);
                 radio_energy_task += attempt_energy;
                 if remaining_mb <= 1e-12 {
                     break 'attempts;
@@ -622,7 +622,7 @@ impl Simulator {
                 // degrading to the ladder floor once the budget is spent.
                 wasted_energy_total += attempt_energy;
                 aborts_total += 1;
-                probe.add("sim/aborts", 1);
+                probe.add(names::SIM_ABORTS, 1);
                 let reason = if failed_injected {
                     AbortReason::InjectedFailure
                 } else {
@@ -637,7 +637,7 @@ impl Simulator {
                 if !degraded && attempt >= policy.max_attempts {
                     degraded = true;
                     degraded_total += 1;
-                    probe.add("sim/degraded_segments", 1);
+                    probe.add(names::SIM_DEGRADED_SEGMENTS, 1);
                     level = LevelIndex::new(0);
                     bitrate = self.ladder.bitrate(level);
                     size = self
@@ -648,7 +648,7 @@ impl Simulator {
                 }
                 let backoff = policy.backoff_for(attempt).value();
                 retries_total += 1;
-                probe.add("sim/retries", 1);
+                probe.add(names::SIM_RETRIES, 1);
                 state.log(SessionEvent::Retry {
                     at: Seconds::new(t),
                     segment: SegmentIndex::new(seg),
@@ -712,14 +712,14 @@ impl Simulator {
             if let Some(p) = prev_level {
                 if p != level {
                     switches += 1;
-                    probe.add("sim/level_switches", 1);
+                    probe.add(names::SIM_LEVEL_SWITCHES, 1);
                 }
             }
-            probe.add("sim/segments", 1);
+            probe.add(names::SIM_SEGMENTS, 1);
             if probe.metrics_enabled() {
-                probe.observe("sim/throughput_mbps", observed.value());
+                probe.observe(names::SIM_THROUGHPUT_MBPS, observed.value());
                 if state.stall_this_task > 0.0 {
-                    probe.observe("sim/stall_seconds", state.stall_this_task);
+                    probe.observe(names::SIM_STALL_SECONDS, state.stall_this_task);
                 }
             }
             tasks.push(TaskRecord {
@@ -782,15 +782,15 @@ impl Simulator {
             QoeScore::new(tasks.iter().map(|x| x.qoe.value()).sum::<f64>() / tasks.len() as f64);
 
         if probe.metrics_enabled() {
-            probe.gauge("sim/energy/screen_j", energy.screen.value());
-            probe.gauge("sim/energy/decode_j", energy.decode.value());
-            probe.gauge("sim/energy/radio_j", energy.radio.value());
-            probe.gauge("sim/energy/tail_j", energy.tail.value());
-            probe.gauge("sim/rebuffer_s", state.stall_total);
-            probe.gauge("sim/mean_qoe", mean_qoe.value());
+            probe.gauge(names::SIM_ENERGY_SCREEN_J, energy.screen.value());
+            probe.gauge(names::SIM_ENERGY_DECODE_J, energy.decode.value());
+            probe.gauge(names::SIM_ENERGY_RADIO_J, energy.radio.value());
+            probe.gauge(names::SIM_ENERGY_TAIL_J, energy.tail.value());
+            probe.gauge(names::SIM_REBUFFER_S, state.stall_total);
+            probe.gauge(names::SIM_MEAN_QOE, mean_qoe.value());
             if fault.is_some() {
-                probe.gauge("sim/outage_seconds", outage_time);
-                probe.gauge("sim/wasted_energy_j", wasted_energy_total);
+                probe.gauge(names::SIM_OUTAGE_SECONDS, outage_time);
+                probe.gauge(names::SIM_WASTED_ENERGY_J, wasted_energy_total);
             }
         }
 

@@ -33,7 +33,7 @@ use crate::player::MIN_THROUGHPUT_MBPS;
 
 /// The piecewise-constant radio state at one instant.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RadioStep {
+pub(crate) struct RadioStep {
     /// Trace throughput at `t`, floored to [`MIN_THROUGHPUT_MBPS`].
     pub thr: f64,
     /// Fault degradation factor at `t` (`1.0` without a plan, `0.0`
@@ -50,7 +50,7 @@ pub struct RadioStep {
 
 /// Looks up the radio state at time `t`.
 #[must_use]
-pub fn step_at(
+pub(crate) fn step_at(
     network: &TimeSeries<NetworkSample>,
     fault: Option<&FaultPlan>,
     t: f64,
@@ -86,7 +86,7 @@ pub fn step_at(
 /// start even at zero goodput (it is actively holding, or re-acquiring,
 /// the link through outages).
 #[must_use]
-pub fn chunk_energy(
+pub(crate) fn chunk_energy(
     power: &PowerModel,
     signal: &TimeSeries<SignalSample>,
     t: f64,

@@ -11,6 +11,7 @@ use crate::session::SessionTrace;
 
 /// Five-number summary plus mean/std of a scalar channel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "part of the crate's re-exported public API surface")
 pub struct ChannelStats {
     /// Minimum value.
     pub min: f64,
@@ -63,6 +64,7 @@ impl ChannelStats {
 /// Returns up to `points` evenly-spaced quantiles; empty input yields an
 /// empty vector.
 #[must_use]
+// ecas-lint: allow(pub-surface, reason = "trace-analysis API for notebook-style inspection; exercised by unit tests")
 pub fn empirical_cdf(values: &[f64], points: usize) -> Vec<(f64, f64)> {
     if values.is_empty() || points == 0 {
         return Vec::new();
@@ -124,6 +126,7 @@ impl SessionStats {
 /// throughput, useful for sanity-checking capacity: integrates the step
 /// function over `[0, horizon)`.
 #[must_use]
+// ecas-lint: allow(pub-surface, reason = "trace-analysis API for notebook-style inspection; exercised by unit tests")
 pub fn link_capacity(network: &TimeSeries<NetworkSample>, horizon: Seconds) -> f64 {
     let samples = network.as_slice();
     let mut total_mb = 0.0;
@@ -142,6 +145,7 @@ pub fn link_capacity(network: &TimeSeries<NetworkSample>, horizon: Seconds) -> f
 
 /// Time-weighted mean signal strength over `[0, horizon)` (dBm).
 #[must_use]
+// ecas-lint: allow(pub-surface, reason = "trace-analysis API for notebook-style inspection; exercised by unit tests")
 pub fn mean_signal_weighted(signal: &TimeSeries<SignalSample>, horizon: Seconds) -> f64 {
     let samples = signal.as_slice();
     let mut acc = 0.0;

@@ -21,9 +21,9 @@ use crate::series::{TimeSeries, Timestamped};
 use crate::session::{SessionTrace, TraceMeta};
 
 /// Magic prefix of the binary trace format.
-pub const BINARY_MAGIC: &[u8; 4] = b"ECAS";
+pub(crate) const BINARY_MAGIC: &[u8; 4] = b"ECAS";
 /// Current version of the binary trace format.
-pub const BINARY_VERSION: u8 = 1;
+pub(crate) const BINARY_VERSION: u8 = 1;
 
 /// Error produced by trace I/O.
 #[derive(Debug)]
@@ -89,6 +89,7 @@ pub fn read_json<R: Read>(reader: R) -> Result<SessionTrace, TraceIoError> {
 }
 
 /// A sample that can be encoded to / decoded from a CSV row.
+// ecas-lint: allow(pub-surface, reason = "bound of the public CSV read/write functions")
 pub trait CsvRecord: Sized {
     /// The header row for this sample type.
     fn csv_header() -> &'static str;

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::sample::{AccelSample, NetworkSample, PowerSample, SignalSample};
 
 /// Types that carry a trace timestamp.
+// ecas-lint: allow(pub-surface, reason = "part of the crate's re-exported public API surface")
 pub trait Timestamped {
     /// The sample's time since the start of the trace.
     fn timestamp(&self) -> Seconds;

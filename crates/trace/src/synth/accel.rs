@@ -21,7 +21,7 @@ use crate::synth::context::{Context, ContextSchedule};
 use crate::synth::standard_normal;
 
 /// Standard gravity (m/s²).
-pub const GRAVITY: f64 = 9.80665;
+pub(crate) const GRAVITY: f64 = 9.80665;
 
 /// Generates a synthetic 3-axis accelerometer trace.
 ///

@@ -24,7 +24,7 @@ use crate::synth::standard_normal;
 
 /// Link quality regime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum LinkState {
+pub(crate) enum LinkState {
     /// Cell-center, line-of-sight conditions.
     Excellent,
     /// Typical good coverage.

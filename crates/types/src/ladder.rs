@@ -19,6 +19,7 @@ use crate::units::{Mbps, MegaBytes, Seconds};
 
 /// A named video resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+// ecas-lint: allow(pub-surface, reason = "re-exported field type of LadderEntry")
 pub enum Resolution {
     /// 256 x 144.
     R144p,

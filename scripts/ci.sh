@@ -26,6 +26,9 @@ cargo build --release --workspace
 echo "==> ecas-lint (workspace invariants)"
 cargo run --release -p ecas-lint
 
+echo "==> ecas-lint --json (machine-readable report -> lint-report.jsonl)"
+cargo run --release -p ecas-lint -- --json > lint-report.jsonl
+
 echo "==> test (workspace)"
 cargo test -q --workspace
 
