@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod approach;
+pub mod fleet;
 pub mod metrics;
 pub mod observe;
 pub mod oracle;
@@ -51,6 +52,7 @@ pub mod sweep;
 pub mod viewer;
 
 pub use approach::Approach;
+pub use fleet::{FixedHistogram, FleetEngine, FleetReducer, FleetReport};
 pub use metrics::{ComparisonSummary, TraceComparison};
 pub use observe::{run_observed, run_observed_with};
 pub use oracle::{Divergence, ObjectiveVerdict, Oracle, ReplayError, ReplayVerdict};

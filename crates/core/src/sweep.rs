@@ -28,6 +28,7 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ecas_obs::{names, perf, stable_hash, JsonlRecorder, MetricsRegistry};
@@ -661,6 +662,12 @@ impl SweepEngine {
 
     /// Writes an entry via a temp file + rename so a concurrent reader
     /// never sees a half-written entry (it sees the old one or none).
+    ///
+    /// The temp name embeds the process id and a process-wide counter:
+    /// two writers racing on the same key (same process or two processes
+    /// sharing a `--cache-dir`) each write their own temp file, and the
+    /// final `rename` is atomic, so the published entry is always one
+    /// writer's complete bytes — never an interleaving.
     fn store(
         &self,
         dir: &Path,
@@ -688,7 +695,12 @@ impl SweepEngine {
             text.push_str(&to_json(&probe.to_string())?);
             text.push('\n');
         }
-        let tmp = dir.join(format!("{key}.tmp"));
+        static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let tmp = dir.join(format!(
+            "{key}.{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
         fs::write(&tmp, text)?;
         fs::rename(&tmp, entry_path(dir, key))
     }
@@ -857,6 +869,61 @@ mod tests {
         let warm_engine = SweepEngine::new(ExperimentRunner::paper());
         assert_eq!(warm_engine.run_grid(&sessions, &approaches, &policy), cold);
         assert!(warm_engine.stats().all_hits());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: `store()` used to write every writer's entry to the
+    /// same `{key}.tmp` path, so two writers racing on one key could
+    /// interleave `fs::write`/`fs::rename` and publish a mixed or
+    /// truncated entry — breaking the documented "reader never sees a
+    /// half-written entry" guarantee. With per-writer temp names, readers
+    /// racing the writers must only ever observe a complete entry or
+    /// none.
+    #[test]
+    fn concurrent_stores_never_publish_torn_entries() {
+        let dir = temp_dir("race");
+        fs::create_dir_all(&dir).unwrap();
+        let engine = SweepEngine::new(ExperimentRunner::paper());
+        let sessions = sessions();
+        let job = Job {
+            session: &sessions[0],
+            cell: Cell::Approach(Approach::Ours),
+        };
+        let key = engine.keys_for(std::slice::from_ref(&job), false).remove(0);
+        let result = engine
+            .run_grid(&sessions, &[Approach::Ours], &ExecPolicy::Sequential)
+            .remove(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        engine.store(&dir, &key, &job, &result, None).unwrap();
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..400 {
+                    match engine.load(&dir, &key, &job, false) {
+                        Lookup::Hit(_) | Lookup::Absent => {}
+                        Lookup::Corrupt => panic!("reader observed a torn cache entry"),
+                    }
+                }
+            });
+        });
+
+        // The settled entry is a complete, valid hit …
+        assert!(matches!(
+            engine.load(&dir, &key, &job, false),
+            Lookup::Hit(_)
+        ));
+        // … and every temp file was consumed by its own rename.
+        let litter: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+            .collect();
+        assert!(litter.is_empty(), "temp litter left behind: {litter:?}");
         fs::remove_dir_all(&dir).ok();
     }
 

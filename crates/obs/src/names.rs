@@ -40,6 +40,20 @@ pub const SWEEP_EXECUTE_SPAN: &str = "sweep/execute";
 /// during the sweep — the throughput figure of merit.
 pub const PERF_SWEEP_SESS_S_PER_CORE_S: &str = "perf/sweep_sess_s_per_core_s";
 
+// ---------------------------------------------------------- fleet engine
+//
+// The fleet population engine (see `ecas-core`'s `fleet` module) streams
+// batches of synthesized users through the sweep pool; these counters
+// expose its progress without materializing per-session state.
+
+/// A fleet user's session was simulated and folded into the reducer.
+pub const FLEET_USERS: &str = "fleet/users";
+/// A bounded-memory fleet batch completed (synthesis + simulation +
+/// reduction).
+pub const FLEET_BATCHES: &str = "fleet/batches";
+/// Wall-clock span around one full fleet run.
+pub const FLEET_EXECUTE_SPAN: &str = "fleet/execute";
+
 // --------------------------------------------------------- replay oracle
 
 /// A session replay (see `ecas-core`'s `oracle` module) matched the
@@ -149,6 +163,9 @@ pub const ALL: &[&str] = &[
     SWEEP_CACHE_WRITE_ERROR,
     SWEEP_EXECUTE_SPAN,
     PERF_SWEEP_SESS_S_PER_CORE_S,
+    FLEET_USERS,
+    FLEET_BATCHES,
+    FLEET_EXECUTE_SPAN,
     ORACLE_REPLAY_PASS,
     ORACLE_REPLAY_FAIL,
     ORACLE_REPLAY_SKIP,

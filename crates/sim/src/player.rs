@@ -106,9 +106,20 @@ impl<'p> PlayState<'p> {
     }
 
     /// Bitrate of the segment under the playhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no segment has been downloaded yet. The play loop only
+    /// advances the playhead while `buffer > 0`, which requires at least
+    /// one downloaded segment; a silent `0.0` fallback here would corrupt
+    /// decode energy instead of surfacing the logic error.
     fn playing_bitrate(&self) -> f64 {
         let idx = ((self.playhead / self.tau) as usize).min(self.bitrates.len().saturating_sub(1));
-        self.bitrates.get(idx).copied().unwrap_or(0.0)
+        self.bitrates
+            .get(idx)
+            .copied()
+            // ecas-lint: allow(panic-safety, reason = "playback requires a downloaded segment (buffer > 0); an empty bitrate list here is a simulator logic error, not a recoverable state")
+            .expect("playback advanced with no downloaded segment")
     }
 }
 
@@ -133,7 +144,10 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails [`PlayerConfig::is_valid`].
+    /// Panics if `config` fails [`PlayerConfig::is_valid`] or if `ladder`
+    /// has no levels. ([`BitrateLadder`] constructors and its serde path
+    /// already reject empty ladders; this assert keeps the invariant
+    /// local so the player never has to invent a 0.0-bps fallback.)
     #[must_use]
     pub fn new(
         config: PlayerConfig,
@@ -142,6 +156,7 @@ impl Simulator {
         qoe: QoeModel,
     ) -> Self {
         assert!(config.is_valid(), "invalid player config");
+        assert!(!ladder.is_empty(), "bitrate ladder must not be empty");
         Self {
             config,
             ladder,

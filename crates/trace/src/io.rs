@@ -526,6 +526,12 @@ mod tests {
     }
 }
 
+/// Largest bin count [`read_mahimahi`] will allocate. At the default
+/// 1-second bin width this is a ~23-day trace — far beyond any real
+/// Mahimahi capture (they span minutes) while keeping the `counts`
+/// vector under ~16 MiB even for hostile input.
+pub const MAX_MAHIMAHI_BINS: usize = 2_000_000;
+
 /// Parses a Mahimahi-style uplink/downlink trace into a throughput
 /// channel.
 ///
@@ -542,8 +548,10 @@ mod tests {
 ///
 /// # Errors
 ///
-/// Returns [`TraceIoError::Corrupt`] on unparsable lines or an empty
-/// payload.
+/// Returns [`TraceIoError::Corrupt`] on unparsable lines, an empty
+/// payload, or a trace whose horizon would require more than
+/// [`MAX_MAHIMAHI_BINS`] bins — a single far-future timestamp must not
+/// translate into a multi-gigabyte allocation.
 pub fn read_mahimahi<R: Read>(
     mut reader: R,
     bin: Seconds,
@@ -575,7 +583,14 @@ pub fn read_mahimahi<R: Read>(
 
     let bin_s = bin.value();
     let horizon = stamps_ms[stamps_ms.len() - 1] / 1000.0;
-    let n_bins = (horizon / bin_s).floor() as usize + 1;
+    let raw_bins = (horizon / bin_s).floor() + 1.0;
+    if !raw_bins.is_finite() || raw_bins > MAX_MAHIMAHI_BINS as f64 {
+        return Err(TraceIoError::Corrupt(format!(
+            "mahimahi horizon {horizon:.0}s at bin width {bin_s}s needs {raw_bins:.0} bins \
+             (max {MAX_MAHIMAHI_BINS}); trace has an implausible far-future timestamp"
+        )));
+    }
+    let n_bins = raw_bins as usize;
     let mut counts = vec![0usize; n_bins];
     for &ms in &stamps_ms {
         let idx = ((ms / 1000.0) / bin_s) as usize;
@@ -643,5 +658,27 @@ mod mahimahi_tests {
         assert!(read_mahimahi("abc\n".as_bytes(), Seconds::new(1.0)).is_err());
         assert!(read_mahimahi("-5\n".as_bytes(), Seconds::new(1.0)).is_err());
         assert!(read_mahimahi("".as_bytes(), Seconds::new(1.0)).is_err());
+    }
+
+    /// Regression: a single far-future timestamp used to size the bin
+    /// vector directly from the maximum stamp — `1e12` ms at a 1-second
+    /// bin width asked for a multi-gigabyte allocation and aborted the
+    /// process. Hostile external input must be rejected as `Corrupt`,
+    /// not amplified into an OOM.
+    #[test]
+    fn far_future_timestamp_is_corrupt_not_oom() {
+        // One normal packet, then one a billion seconds in the future.
+        let text = "0\n1000000000000\n";
+        let err = read_mahimahi(text.as_bytes(), Seconds::new(1.0)).unwrap_err();
+        assert!(
+            matches!(&err, TraceIoError::Corrupt(msg) if msg.contains("far-future")),
+            "expected Corrupt(far-future), got {err:?}"
+        );
+        // Same guard against tiny bin widths blowing up the bin count.
+        assert!(read_mahimahi("0\n3600000\n".as_bytes(), Seconds::new(1e-6)).is_err());
+        // A trace right at the cap still parses.
+        let ok_ms = (MAX_MAHIMAHI_BINS - 1) as f64 * 1000.0;
+        let text = format!("0\n{ok_ms}\n");
+        assert!(read_mahimahi(text.as_bytes(), Seconds::new(1.0)).is_ok());
     }
 }

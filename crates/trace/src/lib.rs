@@ -31,6 +31,7 @@
 pub mod analysis;
 pub mod io;
 pub mod mpd;
+pub mod population;
 pub mod sample;
 pub mod series;
 pub mod session;
@@ -40,6 +41,10 @@ pub mod videos;
 
 pub use analysis::{ChannelStats, SessionStats};
 pub use mpd::Manifest;
+pub use population::{
+    BatteryState, DiurnalProfile, FleetContext, FleetMix, PopulationSpec, SessionBatch, SignalTier,
+    UserSpec,
+};
 pub use sample::{AccelSample, NetworkSample, PowerSample, SignalSample};
 pub use series::{SeriesError, TimeSeries, Timestamped};
 pub use session::{SessionTrace, TraceMeta};

@@ -223,8 +223,28 @@ const EVALUATION: [f64; 14] = [
 /// assert_eq!(ladder.bitrate(level), Mbps::new(1.5));
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "RawBitrateLadder")]
 pub struct BitrateLadder {
     entries: Vec<LadderEntry>,
+}
+
+/// Wire shape of [`BitrateLadder`]. Deserialization routes through
+/// [`BitrateLadder::from_entries`], so a ladder that arrives over serde
+/// (config files, cache entries) upholds the same non-empty /
+/// strictly-ascending invariants as a constructed one — downstream code
+/// (e.g. the player's `playing_bitrate`) relies on ladders never being
+/// empty.
+#[derive(Deserialize)]
+struct RawBitrateLadder {
+    entries: Vec<LadderEntry>,
+}
+
+impl TryFrom<RawBitrateLadder> for BitrateLadder {
+    type Error = BuildLadderError;
+
+    fn try_from(raw: RawBitrateLadder) -> Result<Self, Self::Error> {
+        Self::from_entries(raw.entries)
+    }
 }
 
 impl BitrateLadder {
@@ -533,6 +553,25 @@ mod tests {
             assert!(w[0].width() < w[1].width());
         }
         assert_eq!(Resolution::R1080p.to_string(), "1080p");
+    }
+
+    /// Regression: `#[derive(Deserialize)]` used to bypass
+    /// `from_entries`, so an empty or descending ladder could enter the
+    /// system through serde and later surface as a bogus 0.0-bps
+    /// playing bitrate. Deserialization now routes through the
+    /// validating constructor.
+    #[test]
+    fn deserialization_validates_invariants() {
+        let empty = r#"{"entries":[]}"#;
+        assert!(serde_json::from_str::<BitrateLadder>(empty).is_err());
+        let descending = r#"{"entries":[
+            {"bitrate":2.0,"resolution":null},
+            {"bitrate":1.0,"resolution":null}
+        ]}"#;
+        assert!(serde_json::from_str::<BitrateLadder>(descending).is_err());
+        let good = serde_json::to_string(&BitrateLadder::table_ii()).unwrap();
+        let back: BitrateLadder = serde_json::from_str(&good).unwrap();
+        assert_eq!(back, BitrateLadder::table_ii());
     }
 
     #[test]

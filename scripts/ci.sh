@@ -103,6 +103,26 @@ if ! grep -Eq 'replay_checks=[1-9][0-9]* objective_checks=[1-9][0-9]* failures=0
     exit 1
 fi
 
+echo "==> smoke: fleet engine (determinism + parallel == sequential + liveness)"
+./target/release/fleet --smoke > "$obs_dir/fleet_1.txt"
+./target/release/fleet --smoke > "$obs_dir/fleet_2.txt"
+./target/release/fleet --smoke --jobs 1 > "$obs_dir/fleet_seq.txt"
+if ! cmp -s "$obs_dir/fleet_1.txt" "$obs_dir/fleet_2.txt"; then
+    echo "fleet smoke is not byte-identical across runs" >&2
+    diff "$obs_dir/fleet_1.txt" "$obs_dir/fleet_2.txt" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$obs_dir/fleet_1.txt" "$obs_dir/fleet_seq.txt"; then
+    echo "fleet parallel aggregate differs from sequential (--jobs 1)" >&2
+    diff "$obs_dir/fleet_1.txt" "$obs_dir/fleet_seq.txt" >&2 || true
+    exit 1
+fi
+if ! grep -Eq 'users=100000 ' "$obs_dir/fleet_1.txt"; then
+    echo "fleet smoke did not simulate the full 100k-user population" >&2
+    cat "$obs_dir/fleet_1.txt" >&2
+    exit 1
+fi
+
 echo "==> smoke: hot-path perf gate (work-counter determinism + collapse check)"
 scripts/bench.sh
 
