@@ -1,0 +1,258 @@
+//! `session` — record, replay, verify and inspect `.ecasr` session
+//! records (see `ecas-core`'s `record` module and DESIGN.md § 13).
+//!
+//! ```text
+//! session record  [scenario flags] <out.ecasr>
+//! session replay  <record.ecasr>
+//! session verify  <record.ecasr>...
+//! session inspect [--json] <record.ecasr>
+//! session rerecord <record.ecasr> <out.ecasr>
+//! ```
+//!
+//! `record` runs a scenario and writes the record; `replay`
+//! reconstructs the result from the stored event log alone through the
+//! replay oracle; `verify` diffs that reconstruction against the stored
+//! reference (exit 1 on any divergence) — the golden-corpus CI gate
+//! drives it over `golden/**/*.ecasr`.
+
+use std::process::ExitCode;
+
+use ecas_bench::cli::Args;
+use ecas_bench::Cli;
+use ecas_core::record::{RecordScenario, RecordedSession, SessionRecord};
+use ecas_core::trace::record::RecordContainer;
+use ecas_core::trace::Context;
+use ecas_core::sim::FaultSpec;
+use ecas_core::{Approach, ReplayVerdict};
+
+fn cli() -> Cli {
+    Cli::new("session", "record, replay and verify .ecasr session records")
+        .subcommand(
+            Cli::new("record", "run a scenario and write a session record")
+                .option("--tablev", "id", "use a Table V evaluation trace (1..5)")
+                .option(
+                    "--context",
+                    "ctx",
+                    "synthetic context: quiet | walking | vehicle | commute",
+                )
+                .option("--seconds", "s", "synthetic session duration (default: 60)")
+                .option("--seed", "n", "synthetic generator seed (default: 1)")
+                .option("--approach", "label", "controller under test (default: Ours)")
+                .option("--eta", "f", "energy/QoE weighting factor (default: 0.5)")
+                .option("--fault", "intensity", "fault injection intensity in [0,1]")
+                .option("--fault-seed", "n", "fault-injection seed (default: 1)")
+                .positional("out", "output record path (.ecasr)"),
+        )
+        .subcommand(
+            Cli::new("replay", "reconstruct the result from the stored log alone")
+                .positional("record", "record file (.ecasr)"),
+        )
+        .subcommand(
+            Cli::new("verify", "replay each record and diff against its reference")
+                .positional("record", "first record file (.ecasr)")
+                .trailing("records", "further record files"),
+        )
+        .subcommand(
+            Cli::new("inspect", "print a record's scenario, metrics and timeline")
+                .switch("--json", "emit the machine-readable manifest instead")
+                .positional("record", "record file (.ecasr)"),
+        )
+        .subcommand(
+            Cli::new("rerecord", "re-run a record's scenario and write the fresh record")
+                .positional("record", "record file (.ecasr)")
+                .positional("out", "output record path (.ecasr)"),
+        )
+}
+
+fn main() -> ExitCode {
+    let parsed = cli().parse();
+    let Some((name, sub)) = parsed.subcommand() else {
+        return ExitCode::from(2);
+    };
+    let result = match name {
+        "record" => record(sub),
+        "replay" => replay(sub),
+        "verify" => return verify(sub),
+        "inspect" => inspect(sub),
+        "rerecord" => rerecord(sub),
+        _ => return ExitCode::from(2),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_f64(args: &Args, flag: &str, default: f64) -> Result<f64, String> {
+    match args.option(flag) {
+        Some(v) => v.parse().map_err(|e| format!("bad {flag}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn parse_u64(args: &Args, flag: &str, default: u64) -> Result<u64, String> {
+    match args.option(flag) {
+        Some(v) => v.parse().map_err(|e| format!("bad {flag}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn scenario_from_args(args: &Args) -> Result<RecordScenario, String> {
+    let seconds = parse_f64(args, "--seconds", 60.0)?;
+    let seed = parse_u64(args, "--seed", 1)?;
+    let session = match (args.option("--tablev"), args.option("--context")) {
+        (Some(_), Some(_)) => {
+            return Err("--tablev and --context are mutually exclusive".to_string())
+        }
+        (Some(id), None) => RecordedSession::TableV {
+            id: id.parse().map_err(|e| format!("bad --tablev: {e}"))?,
+        },
+        (None, ctx) => match ctx.unwrap_or("walking") {
+            "quiet" => RecordedSession::Synthetic {
+                context: Context::QuietRoom,
+                seconds,
+                seed,
+            },
+            "walking" => RecordedSession::Synthetic {
+                context: Context::Walking,
+                seconds,
+                seed,
+            },
+            "vehicle" => RecordedSession::Synthetic {
+                context: Context::MovingVehicle,
+                seconds,
+                seed,
+            },
+            "commute" => RecordedSession::Commute { seconds, seed },
+            other => return Err(format!("unknown context {other:?}")),
+        },
+    };
+    let approach_label = args.option("--approach").unwrap_or("Ours");
+    let approach = Approach::all()
+        .into_iter()
+        .find(|a| a.label().eq_ignore_ascii_case(approach_label))
+        .ok_or_else(|| {
+            let labels: Vec<&str> = Approach::all().iter().map(Approach::label).collect();
+            format!(
+                "unknown approach {approach_label:?}; known: {}",
+                labels.join(", ")
+            )
+        })?;
+    let eta = parse_f64(args, "--eta", 0.5)?;
+    let fault = match args.option("--fault") {
+        Some(v) => {
+            let intensity: f64 = v.parse().map_err(|e| format!("bad --fault: {e}"))?;
+            if !(0.0..=1.0).contains(&intensity) {
+                return Err(format!("--fault {intensity} is outside [0, 1]"));
+            }
+            let fault_seed = parse_u64(args, "--fault-seed", 1)?;
+            Some(FaultSpec::scaled(intensity, fault_seed))
+        }
+        None => None,
+    };
+    Ok(RecordScenario {
+        session,
+        approach,
+        eta,
+        fault,
+    })
+}
+
+fn record(args: &Args) -> Result<(), String> {
+    let scenario = scenario_from_args(args)?;
+    let record = SessionRecord::record(scenario).map_err(|e| e.to_string())?;
+    let out = &args.positionals()[0];
+    record.save(out).map_err(|e| e.to_string())?;
+    println!(
+        "recorded {} ({} events, {} tasks) -> {out}",
+        record.scenario.label(),
+        record.log.len(),
+        record.reference.tasks.len()
+    );
+    Ok(())
+}
+
+fn replay(args: &Args) -> Result<(), String> {
+    let path = &args.positionals()[0];
+    let record = SessionRecord::load(path).map_err(|e| e.to_string())?;
+    let result = record.replay().map_err(|e| e.to_string())?;
+    println!("replayed {}", record.scenario.label());
+    println!(
+        "energy {:.3} J, mean qoe {:.4}, rebuffer {:.3} s, startup {:.3} s, tasks {}",
+        result.total_energy().value(),
+        result.mean_qoe.value(),
+        result.total_rebuffer.value(),
+        result.startup_delay.value(),
+        result.tasks.len()
+    );
+    Ok(())
+}
+
+fn verify(args: &Args) -> ExitCode {
+    let mut files: Vec<&String> = args.positionals().iter().collect();
+    files.extend(args.trailing());
+    let mut failures = 0usize;
+    for path in &files {
+        match SessionRecord::load(path).and_then(|r| r.verify()) {
+            Ok(ReplayVerdict::Pass { checks }) => {
+                println!("PASS {path} ({checks} checks)");
+            }
+            Ok(verdict) => {
+                failures += 1;
+                println!("FAIL {path}: {}", verdict.render());
+            }
+            Err(e) => {
+                failures += 1;
+                println!("FAIL {path}: {e}");
+            }
+        }
+    }
+    println!("records={} failures={failures}", files.len());
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn inspect(args: &Args) -> Result<(), String> {
+    let path = &args.positionals()[0];
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let record = SessionRecord::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    if args.switch("--json") {
+        let content_hash = RecordContainer::stored_hash(&bytes).unwrap_or(0);
+        let manifest = record.manifest(content_hash);
+        let json = serde_json::to_string(&manifest).map_err(|e| e.to_string())?;
+        println!("{json}");
+    } else {
+        print!("{}", record.render_report());
+    }
+    Ok(())
+}
+
+fn rerecord(args: &Args) -> Result<(), String> {
+    let p = args.positionals();
+    let record = SessionRecord::load(&p[0]).map_err(|e| e.to_string())?;
+    let fresh = record.rerecord().map_err(|e| e.to_string())?;
+    fresh.save(&p[1]).map_err(|e| e.to_string())?;
+    let identical = record.to_bytes().map_err(|e| e.to_string())?
+        == fresh.to_bytes().map_err(|e| e.to_string())?;
+    println!(
+        "rerecorded {} -> {} ({})",
+        record.scenario.label(),
+        p[1],
+        if identical {
+            "byte-identical"
+        } else {
+            "DIVERGED from the stored record"
+        }
+    );
+    if identical {
+        Ok(())
+    } else {
+        Err("re-recording did not reproduce the stored bytes".to_string())
+    }
+}

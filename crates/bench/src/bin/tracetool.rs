@@ -2,14 +2,15 @@
 //! command line.
 //!
 //! ```text
-//! tracetool generate <context> <seconds> <seed> <out.json|out.bin>
+//! tracetool generate <quiet|walking|vehicle|commute> <seconds> <seed> <out>
 //! tracetool tablev <id> <out.json|out.bin>
 //! tracetool inspect <trace.json|trace.bin>
 //! tracetool mahimahi <packets.txt> <bin-seconds>
 //! tracetool mpd <seconds> [out.mpd]
 //! ```
 //!
-//! JSON vs binary is picked by the output extension.
+//! JSON vs binary is picked by the output extension
+//! ([`TraceFormat::from_path`]).
 
 use std::fs::File;
 use std::io::Read;
@@ -17,37 +18,57 @@ use std::process::ExitCode;
 
 use ecas_bench::Cli;
 use ecas_core::trace::analysis::SessionStats;
-use ecas_core::trace::io::{decode_binary, encode_binary, read_json, read_mahimahi, write_json};
+use ecas_core::trace::io::{read_mahimahi, TraceFormat};
 use ecas_core::trace::session::SessionTrace;
 use ecas_core::trace::synth::context::{Context, ContextSchedule};
 use ecas_core::trace::synth::SessionGenerator;
 use ecas_core::trace::videos::EvalTraceSpec;
 use ecas_core::types::units::Seconds;
 
-fn usage() -> ExitCode {
-    eprintln!("usage:");
-    eprintln!(
-        "  tracetool generate <quiet|walking|vehicle|commute> <seconds> <seed> <out.json|out.bin>"
-    );
-    eprintln!("  tracetool tablev <1..5> <out.json|out.bin>");
-    eprintln!("  tracetool inspect <trace.json|trace.bin>");
-    eprintln!("  tracetool mahimahi <packets.txt> <bin-seconds>");
-    eprintln!("  tracetool mpd <seconds> [out.mpd]");
-    ExitCode::from(2)
+fn cli() -> Cli {
+    Cli::new("tracetool", "generate, inspect and convert session traces")
+        .subcommand(
+            Cli::new("generate", "synthesize a session trace")
+                .positional("context", "quiet | walking | vehicle | commute")
+                .positional("seconds", "session duration in seconds")
+                .positional("seed", "generator seed")
+                .positional("out", "output path (.bin for binary, else JSON)"),
+        )
+        .subcommand(
+            Cli::new("tablev", "write one of the five Table V evaluation traces")
+                .positional("id", "Table V trace id (1..5)")
+                .positional("out", "output path (.bin for binary, else JSON)"),
+        )
+        .subcommand(
+            Cli::new("inspect", "summarize a stored trace")
+                .positional("trace", "trace file (.json or .bin)"),
+        )
+        .subcommand(
+            Cli::new("mahimahi", "bin a mahimahi packet log into a throughput series")
+                .positional("packets", "mahimahi packet-times file")
+                .positional("bin-seconds", "bin width in seconds"),
+        )
+        .subcommand(
+            Cli::new("mpd", "render the paper's DASH manifest")
+                .positional("seconds", "video duration in seconds")
+                .optional_positional("out", "output path (stdout if omitted)"),
+        )
 }
 
 fn main() -> ExitCode {
-    let parsed = Cli::new("tracetool", "generate, inspect and convert session traces")
-        .trailing("subcommand", "generate | tablev | inspect | mahimahi | mpd, plus its arguments")
-        .parse();
-    let args = parsed.trailing();
-    let result = match args.first().map(String::as_str) {
-        Some("generate") if args.len() == 5 => generate(&args[1], &args[2], &args[3], &args[4]),
-        Some("tablev") if args.len() == 3 => tablev(&args[1], &args[2]),
-        Some("inspect") if args.len() == 2 => inspect(&args[1]),
-        Some("mahimahi") if args.len() == 3 => mahimahi(&args[1], &args[2]),
-        Some("mpd") if args.len() == 2 || args.len() == 3 => mpd(&args[1], args.get(2)),
-        _ => return usage(),
+    let parsed = cli().parse();
+    let Some((name, sub)) = parsed.subcommand() else {
+        // Unreachable: a missing subcommand is a parse error.
+        return ExitCode::from(2);
+    };
+    let p = sub.positionals();
+    let result = match name {
+        "generate" => generate(&p[0], &p[1], &p[2], &p[3]),
+        "tablev" => tablev(&p[0], &p[1]),
+        "inspect" => inspect(&p[0]),
+        "mahimahi" => mahimahi(&p[0], &p[1]),
+        "mpd" => mpd(&p[0], p.get(1)),
+        _ => return ExitCode::from(2),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -59,25 +80,9 @@ fn main() -> ExitCode {
 }
 
 fn save(session: &SessionTrace, path: &str) -> Result<(), String> {
-    if path.ends_with(".bin") {
-        let bytes = encode_binary(session);
-        std::fs::write(path, &bytes).map_err(|e| e.to_string())?;
-    } else {
-        let file = File::create(path).map_err(|e| e.to_string())?;
-        write_json(file, session).map_err(|e| e.to_string())?;
-    }
-    println!("wrote {path}");
+    session.save(path).map_err(|e| e.to_string())?;
+    println!("wrote {path} ({})", TraceFormat::from_path(path));
     Ok(())
-}
-
-fn load(path: &str) -> Result<SessionTrace, String> {
-    if path.ends_with(".bin") {
-        let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
-        decode_binary(&bytes).map_err(|e| e.to_string())
-    } else {
-        let file = File::open(path).map_err(|e| e.to_string())?;
-        read_json(file).map_err(|e| e.to_string())
-    }
 }
 
 fn generate(context: &str, seconds: &str, seed: &str, out: &str) -> Result<(), String> {
@@ -107,7 +112,7 @@ fn tablev(id: &str, out: &str) -> Result<(), String> {
 }
 
 fn inspect(path: &str) -> Result<(), String> {
-    let session = load(path)?;
+    let session = SessionTrace::load(path).map_err(|e| e.to_string())?;
     let meta = session.meta();
     println!("name:           {}", meta.name);
     println!("description:    {}", meta.description);

@@ -58,6 +58,7 @@ pub struct Cli {
     options: Vec<Opt>,
     positionals: Vec<Positional>,
     trailing: Option<(&'static str, &'static str)>,
+    subcommands: Vec<Cli>,
 }
 
 /// Why parsing failed. [`Cli::parse`] renders this and exits with
@@ -81,6 +82,10 @@ pub enum CliError {
         /// What was expected instead.
         expected: &'static str,
     },
+    /// The binary declares subcommands but none was given.
+    MissingSubcommand,
+    /// The first argument did not name a declared subcommand.
+    UnknownSubcommand(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -95,6 +100,8 @@ impl std::fmt::Display for CliError {
                 value,
                 expected,
             } => write!(f, "invalid value `{value}` for `{flag}`: expected {expected}"),
+            Self::MissingSubcommand => write!(f, "missing a subcommand"),
+            Self::UnknownSubcommand(name) => write!(f, "unknown subcommand `{name}`"),
         }
     }
 }
@@ -198,9 +205,38 @@ impl Cli {
         self
     }
 
+    /// Declares a subcommand, itself described by a full [`Cli`]. When
+    /// any subcommand is declared the first argument must name one of
+    /// them; the remaining arguments are parsed against that
+    /// subcommand's own declaration, `<tool> <sub> --help` prints the
+    /// subcommand's generated help, and the parsed result lands in
+    /// [`Args::subcommand`].
+    #[must_use]
+    pub fn subcommand(mut self, sub: Cli) -> Self {
+        self.subcommands.push(sub);
+        self
+    }
+
     /// The generated `--help` text.
     #[must_use]
     pub fn help(&self) -> String {
+        if !self.subcommands.is_empty() {
+            let mut out = format!(
+                "{} — {}\n\nusage: {} <command> [options]\n\ncommands:\n",
+                self.name, self.about, self.name
+            );
+            let rows: Vec<(String, &'static str)> = self
+                .subcommands
+                .iter()
+                .map(|s| (s.name.to_string(), s.about))
+                .collect();
+            out.push_str(&render_rows(&rows));
+            out.push_str(&format!(
+                "\nrun `{} <command> --help` for command details\n",
+                self.name
+            ));
+            return out;
+        }
         let mut out = format!("{} — {}\n\nusage: {} [options]", self.name, self.about, self.name);
         for p in &self.positionals {
             if p.required {
@@ -250,6 +286,17 @@ impl Cli {
     #[must_use]
     pub fn parse(&self) -> Args {
         let argv: Vec<String> = std::env::args().skip(1).collect();
+        // `<tool> <sub> --help` shows the subcommand's help, not the
+        // parent's.
+        if let Some(sub) = argv
+            .first()
+            .and_then(|first| self.subcommands.iter().find(|s| s.name == first))
+        {
+            if argv[1..].iter().any(|a| a == "--help" || a == "-h") {
+                print!("{}", sub.help());
+                std::process::exit(0);
+            }
+        }
         if argv.iter().any(|a| a == "--help" || a == "-h") {
             print!("{}", self.help());
             std::process::exit(0);
@@ -258,7 +305,13 @@ impl Cli {
             Ok(args) => args,
             Err(err) => {
                 eprintln!("{}: {err}", self.name);
-                eprintln!("run `{} --help` for usage", self.name);
+                match argv
+                    .first()
+                    .and_then(|first| self.subcommands.iter().find(|s| s.name == first))
+                {
+                    Some(sub) => eprintln!("run `{} {} --help` for usage", self.name, sub.name),
+                    None => eprintln!("run `{} --help` for usage", self.name),
+                }
                 std::process::exit(2);
             }
         }
@@ -270,6 +323,21 @@ impl Cli {
     ///
     /// Returns a [`CliError`] describing the first offending argument.
     pub fn parse_from<S: AsRef<str>>(&self, argv: &[S]) -> Result<Args, CliError> {
+        if !self.subcommands.is_empty() {
+            let mut iter = argv.iter().map(AsRef::as_ref);
+            let first = iter.next().ok_or(CliError::MissingSubcommand)?;
+            let sub = self
+                .subcommands
+                .iter()
+                .find(|s| s.name == first)
+                .ok_or_else(|| CliError::UnknownSubcommand(first.to_string()))?;
+            let rest: Vec<&str> = iter.collect();
+            let sub_args = sub.parse_from(&rest)?;
+            return Ok(Args {
+                subcommand: Some((first.to_string(), Box::new(sub_args))),
+                ..Args::default()
+            });
+        }
         let mut args = Args::default();
         let mut iter = argv.iter().map(AsRef::as_ref);
         while let Some(arg) = iter.next() {
@@ -331,9 +399,20 @@ pub struct Args {
     options: Vec<(String, String)>,
     positionals: Vec<String>,
     trailing: Vec<String>,
+    subcommand: Option<(String, Box<Args>)>,
 }
 
 impl Args {
+    /// The selected subcommand and its parsed arguments, when the
+    /// binary declares subcommands (always `Some` in that case — a
+    /// missing subcommand is a parse error).
+    #[must_use]
+    pub fn subcommand(&self) -> Option<(&str, &Args)> {
+        self.subcommand
+            .as_ref()
+            .map(|(name, args)| (name.as_str(), args.as_ref()))
+    }
+
     /// Whether the given switch was present.
     #[must_use]
     pub fn switch(&self, flag: &str) -> bool {
@@ -485,6 +564,64 @@ mod tests {
         let sub = Cli::new("tool", "subcommands").trailing("args", "subcommand arguments");
         let args = sub.parse_from(&["generate", "5", "x.json"]).unwrap();
         assert_eq!(args.trailing(), ["generate", "5", "x.json"]);
+    }
+
+    fn tool_with_subcommands() -> Cli {
+        Cli::new("tool", "a tool with subcommands")
+            .subcommand(
+                Cli::new("generate", "generate a thing")
+                    .formats()
+                    .positional("seed", "generator seed"),
+            )
+            .subcommand(Cli::new("inspect", "inspect a thing").positional("path", "input file"))
+    }
+
+    #[test]
+    fn subcommands_dispatch_to_their_own_parsers() {
+        let args = tool_with_subcommands()
+            .parse_from(&["generate", "--json", "7"])
+            .unwrap();
+        let (name, sub) = args.subcommand().unwrap();
+        assert_eq!(name, "generate");
+        assert_eq!(sub.format(), Format::Json);
+        assert_eq!(sub.positionals(), ["7"]);
+
+        // A flag the chosen subcommand does not declare is an error even
+        // if a sibling declares it.
+        assert_eq!(
+            tool_with_subcommands().parse_from(&["inspect", "--json", "x"]),
+            Err(CliError::UnknownFlag("--json".to_string()))
+        );
+    }
+
+    #[test]
+    fn subcommand_selection_is_validated() {
+        assert_eq!(
+            tool_with_subcommands().parse_from::<&str>(&[]),
+            Err(CliError::MissingSubcommand)
+        );
+        assert_eq!(
+            tool_with_subcommands().parse_from(&["frobnicate"]),
+            Err(CliError::UnknownSubcommand("frobnicate".to_string()))
+        );
+        assert_eq!(
+            tool_with_subcommands().parse_from(&["generate"]),
+            Err(CliError::MissingPositional("seed"))
+        );
+    }
+
+    #[test]
+    fn parent_help_lists_subcommands() {
+        let help = tool_with_subcommands().help();
+        assert!(help.contains("usage: tool <command> [options]"));
+        assert!(help.contains("generate"));
+        assert!(help.contains("inspect"));
+        assert!(help.contains("run `tool <command> --help`"));
+        // The subcommand's own help is the ordinary flat help.
+        let sub_help = Cli::new("generate", "generate a thing")
+            .positional("seed", "generator seed")
+            .help();
+        assert!(sub_help.contains("usage: generate [options] <seed>"));
     }
 
     #[test]

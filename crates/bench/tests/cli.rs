@@ -58,6 +58,69 @@ fn format_precedence_matches_the_old_ad_hoc_loops() {
     assert_eq!(text.format(), Format::Text);
 }
 
+/// The surface of the `session` binary's verify/inspect subcommands,
+/// redeclared here so the golden subcommand help stays covered.
+fn session_cli() -> Cli {
+    Cli::new("session", "record, replay and verify .ecasr session records")
+        .subcommand(
+            Cli::new("verify", "replay each record and diff against its reference")
+                .positional("record", "first record file (.ecasr)")
+                .trailing("records", "further record files"),
+        )
+        .subcommand(
+            Cli::new("inspect", "print a record's scenario, metrics and timeline")
+                .switch("--json", "emit the machine-readable manifest instead")
+                .positional("record", "record file (.ecasr)"),
+        )
+}
+
+#[test]
+fn subcommand_parent_help_is_stable() {
+    let expected = "\
+session — record, replay and verify .ecasr session records
+
+usage: session <command> [options]
+
+commands:
+  verify    replay each record and diff against its reference
+  inspect   print a record's scenario, metrics and timeline
+
+run `session <command> --help` for command details
+";
+    assert_eq!(session_cli().help(), expected);
+}
+
+#[test]
+fn subcommands_route_and_reject_like_real_tools() {
+    let args = session_cli()
+        .parse_from(&["verify", "a.ecasr", "b.ecasr", "c.ecasr"])
+        .unwrap();
+    let (name, sub) = args.subcommand().unwrap();
+    assert_eq!(name, "verify");
+    assert_eq!(sub.positionals(), ["a.ecasr"]);
+    assert_eq!(sub.trailing(), ["b.ecasr", "c.ecasr"]);
+
+    let args = session_cli()
+        .parse_from(&["inspect", "--json", "a.ecasr"])
+        .unwrap();
+    let (name, sub) = args.subcommand().unwrap();
+    assert_eq!(name, "inspect");
+    assert!(sub.switch("--json"));
+
+    assert_eq!(
+        session_cli().parse_from(&["verify", "--json", "a.ecasr"]),
+        Err(CliError::UnknownFlag("--json".to_string()))
+    );
+    assert_eq!(
+        session_cli().parse_from(&["nope"]),
+        Err(CliError::UnknownSubcommand("nope".to_string()))
+    );
+    assert_eq!(
+        session_cli().parse_from::<&str>(&[]),
+        Err(CliError::MissingSubcommand)
+    );
+}
+
 #[test]
 fn unknown_flags_are_rejected_not_ignored() {
     let cli = Cli::new("fig5", "fig").grid();

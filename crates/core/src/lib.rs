@@ -45,6 +45,7 @@ pub mod fleet;
 pub mod metrics;
 pub mod observe;
 pub mod oracle;
+pub mod record;
 pub mod report;
 pub mod robustness;
 pub mod runner;
@@ -56,6 +57,9 @@ pub use fleet::{FixedHistogram, FleetEngine, FleetReducer, FleetReport};
 pub use metrics::{ComparisonSummary, TraceComparison};
 pub use observe::{run_observed, run_observed_with};
 pub use oracle::{Divergence, ObjectiveVerdict, Oracle, ReplayError, ReplayVerdict};
+pub use record::{
+    RecordManifest, RecordScenario, RecordedSession, SessionRecord, SessionRecordError,
+};
 pub use report::{render_markdown, Scenario, ScenarioBuilder, TraceSelection};
 pub use robustness::{fault_sweep, table_v_robustness, FaultSweepCell, RobustnessRow, SeedStat};
 pub use runner::ExperimentRunner;

@@ -70,6 +70,16 @@ pub const ORACLE_OBJECTIVE_PASS: &str = "oracle/objective_pass";
 /// — an optimality violation in the planner or the objective.
 pub const ORACLE_OBJECTIVE_FAIL: &str = "oracle/objective_fail";
 
+// -------------------------------------------------------- session records
+
+/// A scenario was run and captured as a `.ecasr` session record
+/// (see `ecas-core`'s `record` module).
+pub const RECORD_RECORDED: &str = "record/recorded";
+/// A stored session record replayed and matched its reference result.
+pub const RECORD_VERIFY_PASS: &str = "record/verify_pass";
+/// A stored session record diverged from its reference on replay.
+pub const RECORD_VERIFY_FAIL: &str = "record/verify_fail";
+
 // ------------------------------------------------------------- simulator
 
 /// A segment download completed.
@@ -171,6 +181,9 @@ pub const ALL: &[&str] = &[
     ORACLE_REPLAY_SKIP,
     ORACLE_OBJECTIVE_PASS,
     ORACLE_OBJECTIVE_FAIL,
+    RECORD_RECORDED,
+    RECORD_VERIFY_PASS,
+    RECORD_VERIFY_FAIL,
     SIM_SEGMENTS,
     SIM_LEVEL_SWITCHES,
     SIM_STALLS,

@@ -1,17 +1,29 @@
 //! Trace serialization: JSON, CSV and a compact binary format.
 //!
-//! * JSON ([`write_json`] / [`read_json`]) is the interchange format for
-//!   whole [`SessionTrace`] bundles;
-//! * CSV ([`write_csv`] / [`read_csv`]) handles individual channels in a
-//!   spreadsheet-friendly layout;
-//! * the binary codec ([`encode_binary`] / [`decode_binary`]) is a compact
-//!   little-endian format (`ECAS` magic + version) for large trace archives.
+//! The codec surface for whole [`SessionTrace`] bundles is the
+//! [`TraceFormat`] enum plus four `SessionTrace` methods defined here:
+//!
+//! * [`SessionTrace::read_from`] / [`SessionTrace::write_to`] move a
+//!   trace through any `Read` / `Write` in an explicit [`TraceFormat`]
+//!   (`Json` for interchange, `Binary` — `ECAS` magic + version — for
+//!   large archives);
+//! * [`SessionTrace::load`] / [`SessionTrace::save`] do the same against
+//!   a path, autodetecting the format from the extension via
+//!   [`TraceFormat::from_path`].
+//!
+//! CSV ([`write_csv`] / [`read_csv`]) handles individual channels in a
+//! spreadsheet-friendly layout, and [`read_mahimahi`] imports external
+//! Mahimahi packet traces. The old free functions (`read_json`,
+//! `write_json`, `encode_binary`, `decode_binary`) are deprecated shims
+//! over the unified surface and will be removed after one release.
 //!
 //! Reader/writer functions take `R: Read` / `W: Write` by value; pass
 //! `&mut reader` when the caller needs to keep using the stream afterwards.
 
 use std::fmt;
-use std::io::{Read, Write};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ecas_types::units::{Dbm, Mbps, MegaBytes, MetersPerSec2, Seconds, Watts};
@@ -68,14 +80,136 @@ impl From<serde_json::Error> for TraceIoError {
     }
 }
 
+/// The on-disk encodings a [`SessionTrace`] bundle supports.
+///
+/// # Examples
+///
+/// ```
+/// use ecas_trace::io::TraceFormat;
+///
+/// assert_eq!(TraceFormat::from_path("walk.bin"), TraceFormat::Binary);
+/// assert_eq!(TraceFormat::from_path("walk.json"), TraceFormat::Json);
+/// assert_eq!(TraceFormat::from_path("no-extension"), TraceFormat::Json);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Pretty-printed JSON — the human-readable interchange format.
+    Json,
+    /// The compact little-endian binary format (`ECAS` magic + version).
+    Binary,
+}
+
+impl TraceFormat {
+    /// Picks the format from a path's extension: `.bin` means
+    /// [`TraceFormat::Binary`], everything else (including no extension)
+    /// is [`TraceFormat::Json`].
+    #[must_use]
+    pub fn from_path<P: AsRef<Path>>(path: P) -> Self {
+        match path.as_ref().extension().and_then(|e| e.to_str()) {
+            Some("bin") => TraceFormat::Binary,
+            _ => TraceFormat::Json,
+        }
+    }
+
+    /// Short lowercase label ("json" / "binary").
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceFormat::Json => "json",
+            TraceFormat::Binary => "binary",
+        }
+    }
+}
+
+impl fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+fn write_json_impl<W: Write>(writer: W, session: &SessionTrace) -> Result<(), TraceIoError> {
+    serde_json::to_writer_pretty(writer, session)?;
+    Ok(())
+}
+
+fn read_json_impl<R: Read>(reader: R) -> Result<SessionTrace, TraceIoError> {
+    Ok(serde_json::from_reader(reader)?)
+}
+
+impl SessionTrace {
+    /// Reads a trace from `reader` in the given `format`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] on I/O failure or a malformed payload
+    /// (including out-of-order samples).
+    pub fn read_from<R: Read>(mut reader: R, format: TraceFormat) -> Result<Self, TraceIoError> {
+        match format {
+            TraceFormat::Json => read_json_impl(reader),
+            TraceFormat::Binary => {
+                let mut data = Vec::new();
+                reader.read_to_end(&mut data)?;
+                decode_binary_impl(&data)
+            }
+        }
+    }
+
+    /// Writes the trace to `writer` in the given `format`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] on I/O or serialization failure.
+    pub fn write_to<W: Write>(&self, mut writer: W, format: TraceFormat) -> Result<(), TraceIoError> {
+        match format {
+            TraceFormat::Json => write_json_impl(writer, self),
+            TraceFormat::Binary => {
+                writer.write_all(&encode_binary_impl(self))?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Loads a trace from `path`, autodetecting the format from the
+    /// extension ([`TraceFormat::from_path`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] when the file cannot be opened or its
+    /// payload is malformed.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, TraceIoError> {
+        let format = TraceFormat::from_path(&path);
+        let file = File::open(path)?;
+        Self::read_from(BufReader::new(file), format)
+    }
+
+    /// Saves the trace to `path`, autodetecting the format from the
+    /// extension ([`TraceFormat::from_path`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] when the file cannot be created or
+    /// written.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), TraceIoError> {
+        let format = TraceFormat::from_path(&path);
+        let file = File::create(path)?;
+        let mut writer = BufWriter::new(file);
+        self.write_to(&mut writer, format)?;
+        writer.flush()?;
+        Ok(())
+    }
+}
+
 /// Writes a session trace as pretty-printed JSON.
 ///
 /// # Errors
 ///
 /// Returns [`TraceIoError`] on I/O or serialization failure.
+#[deprecated(
+    since = "0.1.0",
+    note = "use SessionTrace::write_to(writer, TraceFormat::Json)"
+)]
 pub fn write_json<W: Write>(writer: W, session: &SessionTrace) -> Result<(), TraceIoError> {
-    serde_json::to_writer_pretty(writer, session)?;
-    Ok(())
+    write_json_impl(writer, session)
 }
 
 /// Reads a session trace from JSON.
@@ -84,8 +218,12 @@ pub fn write_json<W: Write>(writer: W, session: &SessionTrace) -> Result<(), Tra
 ///
 /// Returns [`TraceIoError`] on I/O or deserialization failure (including
 /// out-of-order samples in the payload).
+#[deprecated(
+    since = "0.1.0",
+    note = "use SessionTrace::read_from(reader, TraceFormat::Json)"
+)]
 pub fn read_json<R: Read>(reader: R) -> Result<SessionTrace, TraceIoError> {
-    Ok(serde_json::from_reader(reader)?)
+    read_json_impl(reader)
 }
 
 /// A sample that can be encoded to / decoded from a CSV row.
@@ -273,8 +411,30 @@ fn get_f64(buf: &mut Bytes, what: &str) -> Result<f64, TraceIoError> {
 }
 
 /// Encodes a session trace into the compact binary format.
+#[deprecated(
+    since = "0.1.0",
+    note = "use SessionTrace::write_to(writer, TraceFormat::Binary)"
+)]
 #[must_use]
 pub fn encode_binary(session: &SessionTrace) -> Bytes {
+    encode_binary_impl(session)
+}
+
+/// Decodes a session trace from the compact binary format.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Corrupt`] on bad magic, unsupported version, or
+/// a truncated / invalid payload.
+#[deprecated(
+    since = "0.1.0",
+    note = "use SessionTrace::read_from(reader, TraceFormat::Binary)"
+)]
+pub fn decode_binary(data: &[u8]) -> Result<SessionTrace, TraceIoError> {
+    decode_binary_impl(data)
+}
+
+fn encode_binary_impl(session: &SessionTrace) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(BINARY_MAGIC);
     buf.put_u8(BINARY_VERSION);
@@ -314,13 +474,7 @@ pub fn encode_binary(session: &SessionTrace) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes a session trace from the compact binary format.
-///
-/// # Errors
-///
-/// Returns [`TraceIoError::Corrupt`] on bad magic, unsupported version, or
-/// a truncated / invalid payload.
-pub fn decode_binary(data: &[u8]) -> Result<SessionTrace, TraceIoError> {
+fn decode_binary_impl(data: &[u8]) -> Result<SessionTrace, TraceIoError> {
     let mut buf = Bytes::copy_from_slice(data);
     if buf.remaining() < 5 {
         return Err(TraceIoError::Corrupt("payload shorter than header".into()));
@@ -441,9 +595,43 @@ mod tests {
     fn json_roundtrip() {
         let s = session();
         let mut buf = Vec::new();
-        write_json(&mut buf, &s).unwrap();
-        let back = read_json(buf.as_slice()).unwrap();
+        s.write_to(&mut buf, TraceFormat::Json).unwrap();
+        let back = SessionTrace::read_from(buf.as_slice(), TraceFormat::Json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn format_from_path_autodetects() {
+        assert_eq!(TraceFormat::from_path("a/b/trace.bin"), TraceFormat::Binary);
+        assert_eq!(TraceFormat::from_path("trace.json"), TraceFormat::Json);
+        assert_eq!(TraceFormat::from_path("trace.csv"), TraceFormat::Json);
+        assert_eq!(TraceFormat::from_path("trace"), TraceFormat::Json);
+        assert_eq!(TraceFormat::Binary.label(), "binary");
+        assert_eq!(TraceFormat::Json.to_string(), "json");
+    }
+
+    #[test]
+    fn load_save_roundtrip_both_formats() {
+        let s = session();
+        let dir = std::env::temp_dir().join(format!("ecas-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["trace.json", "trace.bin"] {
+            let path = dir.join(name);
+            s.save(&path).unwrap();
+            let back = SessionTrace::load(&path).unwrap();
+            assert_eq!(s, back, "{name} did not roundtrip");
+        }
+        // The two encodings really differ on disk.
+        let json_len = std::fs::metadata(dir.join("trace.json")).unwrap().len();
+        let bin_len = std::fs::metadata(dir.join("trace.bin")).unwrap().len();
+        assert!(bin_len * 2 < json_len);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = SessionTrace::load("/nonexistent/ecas-io-test.json").unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
     }
 
     #[test]
@@ -480,34 +668,37 @@ mod tests {
     #[test]
     fn binary_roundtrip() {
         let s = session();
-        let bytes = encode_binary(&s);
-        let back = decode_binary(&bytes).unwrap();
+        let mut bytes = Vec::new();
+        s.write_to(&mut bytes, TraceFormat::Binary).unwrap();
+        let back = SessionTrace::read_from(bytes.as_slice(), TraceFormat::Binary).unwrap();
         assert_eq!(s, back);
     }
 
     #[test]
     fn binary_rejects_bad_magic_and_version() {
         let s = session();
-        let bytes = encode_binary(&s);
+        let mut bytes = Vec::new();
+        s.write_to(&mut bytes, TraceFormat::Binary).unwrap();
 
-        let mut bad = bytes.to_vec();
+        let mut bad = bytes.clone();
         bad[0] = b'X';
-        assert!(decode_binary(&bad).is_err());
+        assert!(SessionTrace::read_from(bad.as_slice(), TraceFormat::Binary).is_err());
 
-        let mut bad = bytes.to_vec();
+        let mut bad = bytes.clone();
         bad[4] = 200;
-        assert!(decode_binary(&bad).is_err());
+        assert!(SessionTrace::read_from(bad.as_slice(), TraceFormat::Binary).is_err());
     }
 
     #[test]
     fn binary_rejects_truncation_everywhere() {
         let s = session();
-        let bytes = encode_binary(&s);
+        let mut bytes = Vec::new();
+        s.write_to(&mut bytes, TraceFormat::Binary).unwrap();
         // Chop the payload at several points; every prefix must fail
         // cleanly rather than panic.
         for cut in [0, 3, 5, 9, 20, bytes.len() / 2, bytes.len() - 1] {
             assert!(
-                decode_binary(&bytes[..cut]).is_err(),
+                SessionTrace::read_from(&bytes[..cut], TraceFormat::Binary).is_err(),
                 "prefix of {cut} bytes decoded successfully"
             );
         }
@@ -517,12 +708,47 @@ mod tests {
     fn binary_is_much_smaller_than_json() {
         let s = session();
         let mut json = Vec::new();
-        write_json(&mut json, &s).unwrap();
-        let bin = encode_binary(&s);
+        s.write_to(&mut json, TraceFormat::Json).unwrap();
+        let mut bin = Vec::new();
+        s.write_to(&mut bin, TraceFormat::Binary).unwrap();
         assert!(
             bin.len() * 2 < json.len(),
             "binary should be < half of JSON"
         );
+    }
+}
+
+#[cfg(test)]
+// The deprecated free functions stay API-compatible for one release;
+// these are the only call sites allowed to keep using them.
+#[allow(deprecated)]
+mod deprecated_shim_tests {
+    use super::*;
+    use crate::synth::context::{Context, ContextSchedule};
+    use crate::synth::SessionGenerator;
+
+    #[test]
+    fn shims_delegate_to_the_unified_codec() {
+        let s = SessionGenerator::new(
+            "shim-test",
+            ContextSchedule::constant(Context::QuietRoom),
+            Seconds::new(8.0),
+            7,
+        )
+        .generate();
+
+        let mut json = Vec::new();
+        write_json(&mut json, &s).unwrap();
+        assert_eq!(read_json(json.as_slice()).unwrap(), s);
+        let mut via_method = Vec::new();
+        s.write_to(&mut via_method, TraceFormat::Json).unwrap();
+        assert_eq!(json, via_method);
+
+        let bin = encode_binary(&s);
+        assert_eq!(decode_binary(&bin).unwrap(), s);
+        let mut via_method = Vec::new();
+        s.write_to(&mut via_method, TraceFormat::Binary).unwrap();
+        assert_eq!(bin.as_ref(), via_method.as_slice());
     }
 }
 

@@ -32,6 +32,7 @@ pub mod analysis;
 pub mod io;
 pub mod mpd;
 pub mod population;
+pub mod record;
 pub mod sample;
 pub mod series;
 pub mod session;
@@ -40,7 +41,9 @@ pub mod vbr;
 pub mod videos;
 
 pub use analysis::{ChannelStats, SessionStats};
+pub use io::{TraceFormat, TraceIoError};
 pub use mpd::Manifest;
+pub use record::{RecordContainer, RecordError};
 pub use population::{
     BatteryState, DiurnalProfile, FleetContext, FleetMix, PopulationSpec, SessionBatch, SignalTier,
     UserSpec,

@@ -1,8 +1,10 @@
 //! Property-based tests for time-series invariants and trace codecs.
 
-use ecas_trace::io::{decode_binary, encode_binary, read_csv, write_csv};
+use ecas_trace::io::{read_csv, write_csv, TraceFormat};
+use ecas_trace::record::{RecordContainer, RecordError};
 use ecas_trace::sample::NetworkSample;
 use ecas_trace::series::TimeSeries;
+use ecas_trace::session::SessionTrace;
 use ecas_trace::synth::context::{Context, ContextSchedule};
 use ecas_trace::synth::SessionGenerator;
 use ecas_types::units::{Mbps, Seconds};
@@ -85,9 +87,63 @@ proptest! {
             seed,
         )
         .generate();
-        let bytes = encode_binary(&session);
-        let back = decode_binary(&bytes).unwrap();
+        let mut bytes = Vec::new();
+        session.write_to(&mut bytes, TraceFormat::Binary).unwrap();
+        let back = SessionTrace::read_from(bytes.as_slice(), TraceFormat::Binary).unwrap();
         prop_assert_eq!(session, back);
+    }
+
+    #[test]
+    fn record_container_roundtrip_arbitrary_sections(
+        sections in proptest::collection::vec(
+            (0u8..=255, proptest::collection::vec(any::<u8>(), 0..200)),
+            0..8,
+        )
+    ) {
+        let mut container = RecordContainer::new();
+        for (tag, payload) in &sections {
+            container.push(*tag, payload.clone());
+        }
+        let bytes = container.encode();
+        let back = RecordContainer::decode(&bytes).unwrap();
+        prop_assert_eq!(back.sections().len(), sections.len());
+        for ((tag, payload), section) in sections.iter().zip(back.sections()) {
+            prop_assert_eq!(*tag, section.tag);
+            prop_assert_eq!(payload, &section.payload);
+        }
+        // Deterministic encoding.
+        prop_assert_eq!(&bytes, &back.encode());
+    }
+
+    #[test]
+    fn record_container_rejects_any_truncation_or_flip(
+        payload in proptest::collection::vec(any::<u8>(), 1..100),
+        cut_frac in 0.0f64..1.0,
+        flip in 0usize..4096,
+    ) {
+        let mut container = RecordContainer::new();
+        container.push(7, payload);
+        let bytes = container.encode();
+        // Truncation at any point is a typed error, never a panic.
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(RecordContainer::decode(&bytes[..cut]).is_err());
+        }
+        // Flipping any single byte is detected (content hash or an
+        // earlier structural check).
+        let mut tampered = bytes.clone();
+        let i = flip % tampered.len();
+        tampered[i] ^= 0x01;
+        let err = RecordContainer::decode(&tampered).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            RecordError::BadMagic { .. }
+                | RecordError::UnsupportedVersion { .. }
+                | RecordError::HashMismatch { .. }
+                | RecordError::Truncated { .. }
+                | RecordError::VarintOverflow
+                | RecordError::Corrupt(_)
+        ));
     }
 
     #[test]

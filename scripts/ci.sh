@@ -126,4 +126,7 @@ fi
 echo "==> smoke: hot-path perf gate (work-counter determinism + collapse check)"
 scripts/bench.sh
 
+echo "==> golden: session-record corpus (replay + byte-identical re-record)"
+scripts/golden.sh
+
 echo "CI OK"

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Golden session-record corpus (see DESIGN.md § 13).
+#
+#   scripts/golden.sh            verify the committed corpus (CI gate)
+#   scripts/golden.sh --update   regenerate every fixture in place
+#
+# Verification is three blocking checks:
+#   1. every committed record replays through the oracle and matches its
+#      stored reference (`session verify`, failures=0);
+#   2. one fixture re-recorded from its own scenario header is
+#      byte-identical to the committed .ecasr;
+#   3. the rendered report and manifest of every fixture match the
+#      committed report.txt / manifest.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SESSION=target/release/session
+cargo build --release -p ecas-bench --bin session >/dev/null
+
+# One line per fixture: <name>|<session record arguments>.
+fixtures() {
+    cat <<'EOF'
+tablev1-ours|--tablev 1 --approach Ours
+tablev2-ours|--tablev 2 --approach Ours
+tablev3-ours|--tablev 3 --approach Ours
+tablev4-festive|--tablev 4 --approach FESTIVE
+tablev5-optimal|--tablev 5 --approach Optimal
+tablev1-youtube|--tablev 1 --approach Youtube
+tablev2-bba|--tablev 2 --approach BBA
+commute-ours|--context commute --seconds 180 --seed 2 --approach Ours
+tablev1-ours-fault|--tablev 1 --approach Ours --fault 0.5 --fault-seed 1
+EOF
+}
+
+if [[ "${1:-}" == "--update" ]]; then
+    while IFS='|' read -r name args; do
+        dir="golden/$name"
+        mkdir -p "$dir"
+        # shellcheck disable=SC2086
+        "$SESSION" record $args "$dir/record.ecasr"
+        "$SESSION" inspect "$dir/record.ecasr" >"$dir/report.txt"
+        "$SESSION" inspect --json "$dir/record.ecasr" >"$dir/manifest.json"
+    done < <(fixtures)
+    echo "golden corpus regenerated"
+    exit 0
+fi
+
+echo "== golden: replay every committed record =="
+"$SESSION" verify golden/*/record.ecasr
+
+echo "== golden: re-record tablev1-ours byte-for-byte =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+"$SESSION" rerecord golden/tablev1-ours/record.ecasr "$tmp/rerecord.ecasr"
+cmp golden/tablev1-ours/record.ecasr "$tmp/rerecord.ecasr"
+
+echo "== golden: rendered artifacts match committed =="
+while IFS='|' read -r name _; do
+    dir="golden/$name"
+    "$SESSION" inspect "$dir/record.ecasr" | diff -u "$dir/report.txt" -
+    "$SESSION" inspect --json "$dir/record.ecasr" | diff -u "$dir/manifest.json" -
+done < <(fixtures)
+
+echo "golden corpus OK"

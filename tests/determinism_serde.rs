@@ -1,7 +1,8 @@
 //! Determinism and serialization guarantees across the whole stack.
 
-use ecas::trace::io::{decode_binary, encode_binary, read_json, write_json};
+use ecas::trace::io::TraceFormat;
 use ecas::trace::videos::EvalTraceSpec;
+use ecas::trace::SessionTrace;
 use ecas::{Approach, ExecPolicy, ExperimentRunner};
 
 #[test]
@@ -49,11 +50,18 @@ fn traces_roundtrip_through_both_codecs() {
     let session = EvalTraceSpec::table_v()[1].generate();
 
     let mut json_buf = Vec::new();
-    write_json(&mut json_buf, &session).unwrap();
-    assert_eq!(session, read_json(json_buf.as_slice()).unwrap());
+    session.write_to(&mut json_buf, TraceFormat::Json).unwrap();
+    assert_eq!(
+        session,
+        SessionTrace::read_from(json_buf.as_slice(), TraceFormat::Json).unwrap()
+    );
 
-    let bin = encode_binary(&session);
-    assert_eq!(session, decode_binary(&bin).unwrap());
+    let mut bin = Vec::new();
+    session.write_to(&mut bin, TraceFormat::Binary).unwrap();
+    assert_eq!(
+        session,
+        SessionTrace::read_from(bin.as_slice(), TraceFormat::Binary).unwrap()
+    );
 }
 
 #[test]
