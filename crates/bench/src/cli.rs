@@ -434,6 +434,17 @@ impl Args {
         &self.positionals
     }
 
+    /// The positional argument at `index`, if present. Required
+    /// positionals are enforced during parsing, but handlers should
+    /// still reach for this accessor instead of indexing
+    /// [`Self::positionals`] — an optional positional (or a refactor
+    /// that drops one from the declaration) must surface as a usage
+    /// error, never an index panic.
+    #[must_use]
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positionals.get(index).map(String::as_str)
+    }
+
     /// The free-form trailing arguments (empty unless declared).
     #[must_use]
     pub fn trailing(&self) -> &[String] {

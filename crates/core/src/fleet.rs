@@ -76,6 +76,10 @@ pub struct FixedHistogram {
     lo: f64,
     hi: f64,
     counts: Vec<u64>,
+    /// NaN samples, counted apart from the bins so they can be reported
+    /// explicitly instead of silently polluting the lowest bin.
+    #[serde(default)]
+    nan: u64,
 }
 
 impl FixedHistogram {
@@ -92,6 +96,7 @@ impl FixedHistogram {
             lo,
             hi,
             counts: vec![0; bins],
+            nan: 0,
         }
     }
 
@@ -99,29 +104,42 @@ impl FixedHistogram {
         (self.hi - self.lo) / self.counts.len() as f64
     }
 
-    /// Records one value; out-of-range values clamp into the edge bins
-    /// and NaN is counted in the lowest bin (it cannot be dropped
-    /// without breaking the `total == users` invariant).
+    /// Records one value; out-of-range values clamp into the edge bins.
+    /// NaN is counted in the explicit [`Self::nan_count`] tally — not a
+    /// bin — so it still contributes to [`Self::total`] (keeping the
+    /// `total == users` invariant) without invisibly skewing the lowest
+    /// bin's percentile mass.
     pub fn record(&mut self, value: f64) {
-        let idx = if value.is_nan() {
+        if value.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        let raw = (value - self.lo) / self.bin_width();
+        let idx = if raw < 0.0 {
             0
         } else {
-            let raw = (value - self.lo) / self.bin_width();
-            if raw < 0.0 {
-                0
-            } else {
-                (raw as usize).min(self.counts.len() - 1)
-            }
+            (raw as usize).min(self.counts.len() - 1)
         };
         if let Some(slot) = self.counts.get_mut(idx) {
             *slot += 1;
         }
     }
 
-    /// Total recorded count.
+    /// Total recorded count, NaN samples included.
     #[must_use]
     pub fn total(&self) -> u64 {
+        self.finite() + self.nan
+    }
+
+    /// Finite samples actually sitting in bins.
+    fn finite(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// NaN samples recorded (excluded from every bin and percentile).
+    #[must_use]
+    pub fn nan_count(&self) -> u64 {
+        self.nan
     }
 
     /// Adds `other`'s counts into `self` (exact).
@@ -139,19 +157,23 @@ impl FixedHistogram {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
+        self.nan += other.nan;
     }
 
-    /// The `p`-quantile (0 ≤ p ≤ 1) under the workspace nearest-rank
-    /// convention, reported as the midpoint of the bin holding the
-    /// ranked sample. `None` when the histogram is empty.
+    /// The `p`-quantile (0 ≤ p ≤ 1) of the **finite** samples under the
+    /// workspace nearest-rank convention, reported as the midpoint of
+    /// the bin holding the ranked sample. `None` when no finite sample
+    /// was recorded — and `None` (never a silently saturated rank) in
+    /// the degenerate case of a finite count that does not fit `usize`
+    /// on a 32-bit target.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]` (via `nearest_rank`).
     #[must_use]
     pub fn percentile(&self, p: f64) -> Option<f64> {
-        let total = self.total();
-        let rank = nearest_rank(usize::try_from(total).unwrap_or(usize::MAX), p)? as u64;
+        let finite = usize::try_from(self.finite()).ok()?;
+        let rank = nearest_rank(finite, p)? as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -421,6 +443,8 @@ impl FleetReducer {
             downloaded_mb: self.downloaded,
             qoe_tail: tail(&self.qoe_hist),
             energy_tail: tail(&self.energy_hist),
+            qoe_nan: self.qoe_hist.nan_count(),
+            energy_nan: self.energy_hist.nan_count(),
             arrivals_by_hour: self.arrivals.to_vec(),
             by_context: FleetContext::all()
                 .iter()
@@ -513,6 +537,14 @@ pub struct FleetReport {
     pub qoe_tail: Tail,
     /// Session-energy distribution tails (joules).
     pub energy_tail: Tail,
+    /// Sessions whose QoE came back NaN (excluded from the QoE tails;
+    /// nonzero means a model bug upstream, so the report says so).
+    #[serde(default)]
+    pub qoe_nan: u64,
+    /// Sessions whose energy came back NaN (excluded from the energy
+    /// tails).
+    #[serde(default)]
+    pub energy_nan: u64,
     /// Session arrivals per local hour (24 entries).
     pub arrivals_by_hour: Vec<u64>,
     /// Slices by watching context.
@@ -544,16 +576,17 @@ impl FleetReport {
             self.stalled_sessions
         ));
         w(format!(
-            "qoe mean={:.6} p50={:.3} p90={:.3} p99={:.3}",
-            self.mean_qoe, self.qoe_tail.p50, self.qoe_tail.p90, self.qoe_tail.p99
+            "qoe mean={:.6} p50={:.3} p90={:.3} p99={:.3} nan={}",
+            self.mean_qoe, self.qoe_tail.p50, self.qoe_tail.p90, self.qoe_tail.p99, self.qoe_nan
         ));
         w(format!(
-            "energy mean_j={:.6} p50_j={:.1} p90_j={:.1} p99_j={:.1} per_gb_j={:.3}",
+            "energy mean_j={:.6} p50_j={:.1} p90_j={:.1} p99_j={:.1} per_gb_j={:.3} nan={}",
             self.mean_energy_j,
             self.energy_tail.p50,
             self.energy_tail.p90,
             self.energy_tail.p99,
-            self.energy_per_gb_j
+            self.energy_per_gb_j,
+            self.energy_nan
         ));
         w(format!(
             "energy_split screen_j={:.3} decode_j={:.3} radio_j={:.3} tail_j={:.3}",
@@ -738,6 +771,57 @@ mod tests {
         h.record(f64::NAN);
         assert_eq!(h.total(), 3);
         assert_eq!(h.percentile(1.0), Some(9.5));
+    }
+
+    #[test]
+    fn histogram_counts_nan_explicitly_not_in_a_bin() {
+        let mut h = FixedHistogram::new(0.0, 10.0, 10);
+        h.record(f64::NAN);
+        h.record(f64::NAN);
+        h.record(9.0);
+        assert_eq!(h.nan_count(), 2);
+        assert_eq!(h.total(), 3, "NaN still counts toward the total");
+        // Percentiles run over the finite sample alone: the single 9.0
+        // is every quantile. Under the old lowest-bin folding, p50 of
+        // this input came out as 0.5 — a silent lie.
+        assert_eq!(h.percentile(0.5), Some(9.5));
+        assert_eq!(h.percentile(0.0), Some(9.5));
+
+        let mut only_nan = FixedHistogram::new(0.0, 1.0, 4);
+        only_nan.record(f64::NAN);
+        assert_eq!(only_nan.percentile(0.5), None, "no finite sample, no rank");
+
+        // Merge carries the tally; old serialized shapes (no `nan`
+        // field) still deserialize.
+        let mut other = FixedHistogram::new(0.0, 10.0, 10);
+        other.record(f64::NAN);
+        h.merge(&other);
+        assert_eq!(h.nan_count(), 3);
+        let legacy: FixedHistogram =
+            serde_json::from_str(r#"{"lo":0.0,"hi":10.0,"counts":[1,0,0,0,0,0,0,0,0,0]}"#)
+                .unwrap();
+        assert_eq!(legacy.nan_count(), 0);
+        assert_eq!(legacy.total(), 1);
+    }
+
+    #[test]
+    fn nan_sessions_surface_in_the_fleet_report() {
+        // The unit types reject NaN at construction, so a healthy run
+        // reports zero — and the render must say so explicitly rather
+        // than hide the tally.
+        let spec = tiny_spec(3);
+        let mut report = FleetEngine::paper().batch_size(3).run(&spec, &ExecPolicy::Sequential);
+        assert_eq!(report.qoe_nan, 0);
+        assert_eq!(report.energy_nan, 0);
+        assert!(report.render().contains("p99=") && report.render().contains(" nan=0"));
+        // If a NaN ever slips through (a model bug), the report calls
+        // it out on the affected line.
+        report.qoe_nan = 1;
+        let text = report.render();
+        let qoe_line = text.lines().find(|l| l.starts_with("qoe ")).unwrap();
+        assert!(qoe_line.ends_with("nan=1"), "{qoe_line}");
+        let energy_line = text.lines().find(|l| l.starts_with("energy ")).unwrap();
+        assert!(energy_line.ends_with("nan=0"), "{energy_line}");
     }
 
     #[test]

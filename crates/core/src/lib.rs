@@ -41,10 +41,12 @@
 #![warn(missing_docs)]
 
 pub mod approach;
+pub mod corpus;
 pub mod fleet;
 pub mod metrics;
 pub mod observe;
 pub mod oracle;
+mod pool;
 pub mod record;
 pub mod report;
 pub mod robustness;
@@ -53,6 +55,7 @@ pub mod sweep;
 pub mod viewer;
 
 pub use approach::Approach;
+pub use corpus::{CorpusDiff, CorpusIndex, CorpusOptions, VerifyOptions, VerifySummary};
 pub use fleet::{FixedHistogram, FleetEngine, FleetReducer, FleetReport};
 pub use metrics::{ComparisonSummary, TraceComparison};
 pub use observe::{run_observed, run_observed_with};

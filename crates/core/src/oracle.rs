@@ -992,7 +992,9 @@ impl Diff {
 
 /// Field-by-field diff of the simulator's result against the replayed
 /// one, plus the accounting identities on the reference itself.
-fn diff_results(reference: &SessionResult, replayed: &SessionResult) -> ReplayVerdict {
+/// `pub(crate)` so the corpus `session diff` subsystem compares two
+/// recorded references under exactly the oracle's tolerance and fields.
+pub(crate) fn diff_results(reference: &SessionResult, replayed: &SessionResult) -> ReplayVerdict {
     let mut d = Diff::default();
     let tol = REPLAY_TOLERANCE;
 

@@ -1,0 +1,102 @@
+//! The shared ordered work-stealing pool.
+//!
+//! Extracted from `SweepEngine::execute_parallel` so every bulk
+//! executor in this crate — the sweep grid, the fleet batches riding on
+//! it, and the record-corpus subsystem (batch recording and parallel
+//! corpus verification) — schedules work the same way: a next-index
+//! counter hands items to workers as they free up, and each result
+//! lands in its preassigned slot, so the output order always matches a
+//! sequential run regardless of completion order. That order stability
+//! is what the workspace's byte-identity guarantees (sweep results,
+//! fleet reports, corpus verify summaries) are built on.
+
+use parking_lot::Mutex;
+
+/// Resolves a requested worker count: `0` means one worker per
+/// available core, and the result never exceeds the item count.
+pub(crate) fn resolve_workers(requested: usize, items: usize) -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    let workers = if requested == 0 { auto } else { requested };
+    workers.min(items).max(1)
+}
+
+/// Runs `f` over every item through a work-stealing worker pool and
+/// returns the results in item order (identical to a sequential map).
+/// `requested == 0` sizes the pool to the available cores; a resolved
+/// width of one runs on the caller's thread with no pool at all.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub(crate) fn run_ordered<T, R, F>(items: &[T], requested: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = resolve_workers(requested, items.len());
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let next: Mutex<usize> = Mutex::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut guard = next.lock();
+                    let idx = *guard;
+                    if idx >= items.len() {
+                        return;
+                    }
+                    *guard += 1;
+                    idx
+                };
+                let Some(item) = items.get(idx) else {
+                    return;
+                };
+                let result = f(item);
+                if let Some(slot) = results.lock().get_mut(idx) {
+                    *slot = Some(result);
+                }
+            });
+        }
+    })
+    // ecas-lint: allow(panic-safety, reason = "a worker panic must propagate to the caller, not be swallowed into a partial result set")
+    .expect("pool worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        // ecas-lint: allow(panic-safety, reason = "the job queue assigns every slot index exactly once; an empty slot is a scheduler bug worth crashing on")
+        .map(|r| r.expect("every pool job filled its slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_item_order_across_widths() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|v| v * 3 + 1).collect();
+        for requested in [0, 1, 2, 5, 128] {
+            let got = run_ordered(&items, requested, |v| v * 3 + 1);
+            assert_eq!(got, expected, "requested={requested}");
+        }
+        assert!(run_ordered(&[] as &[u64], 4, |v| *v).is_empty());
+    }
+
+    #[test]
+    fn worker_resolution_is_bounded() {
+        assert_eq!(resolve_workers(3, 10), 3);
+        assert_eq!(resolve_workers(16, 2), 2);
+        assert!(resolve_workers(0, 1000) >= 1);
+        assert_eq!(resolve_workers(0, 1), 1);
+    }
+}

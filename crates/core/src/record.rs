@@ -51,6 +51,7 @@ use std::path::Path;
 use ecas_obs::{names, stable_hash, Probe, NULL_PROBE};
 use ecas_sim::codec;
 use ecas_sim::{EventLog, FaultSpec, SessionResult, Simulator};
+use ecas_trace::population::PopulationSpec;
 use ecas_trace::record::{RecordContainer, RecordError};
 use ecas_trace::synth::context::{Context, ContextSchedule};
 use ecas_trace::synth::SessionGenerator;
@@ -160,6 +161,22 @@ pub enum RecordedSession {
         /// Generator seed.
         seed: u64,
     },
+    /// One user's session out of a PR 8 fleet population — the record
+    /// corpus bridge between the fleet and record layers. Regenerates
+    /// via [`PopulationSpec::user`] under the default mix and diurnal
+    /// profile, which is pure in `(seed, mean_duration_s, index)` (the
+    /// fleet size only bounds the index), so the trace is reproducible
+    /// from these four numbers alone.
+    Fleet {
+        /// Fleet size the record was cut from (bounds `index`).
+        users: u64,
+        /// The fleet seed.
+        seed: u64,
+        /// The user's position in the fleet (0-based).
+        index: u64,
+        /// Nominal (pre-battery-scaling) session duration in seconds.
+        mean_duration_s: f64,
+    },
 }
 
 impl RecordedSession {
@@ -184,6 +201,12 @@ impl RecordedSession {
             RecordedSession::Commute { seconds, seed } => {
                 format!("commute-{seconds:.0}s-seed{seed}")
             }
+            RecordedSession::Fleet {
+                seed,
+                index,
+                mean_duration_s,
+                ..
+            } => format!("fleet{seed}-{mean_duration_s:.0}s-u{index}"),
         }
     }
 
@@ -237,6 +260,21 @@ impl RecordedSession {
                     *seed,
                 )
                 .generate())
+            }
+            RecordedSession::Fleet {
+                users,
+                seed,
+                index,
+                mean_duration_s,
+            } => {
+                if *index >= *users {
+                    return Err(SessionRecordError::Scenario(format!(
+                        "fleet user index {index} is out of range for {users} users"
+                    )));
+                }
+                let mean = checked_duration(*mean_duration_s)?;
+                let spec = PopulationSpec::new(*users, *seed).mean_duration(mean);
+                Ok(spec.user(*index).synthesize())
             }
         }
     }
@@ -761,6 +799,53 @@ mod tests {
     }
 
     #[test]
+    fn fleet_sessions_regenerate_the_population_trace() {
+        let session = RecordedSession::Fleet {
+            users: 8,
+            seed: 11,
+            index: 5,
+            mean_duration_s: 30.0,
+        };
+        let trace = session.generate().unwrap();
+        let expected = PopulationSpec::new(8, 11)
+            .mean_duration(Seconds::new(30.0))
+            .user(5)
+            .synthesize();
+        assert_eq!(stable_hash(&trace), stable_hash(&expected));
+        // And the full record pipeline holds for fleet sessions too.
+        let record = SessionRecord::record(RecordScenario {
+            session,
+            approach: Approach::Ours,
+            eta: 0.5,
+            fault: None,
+        })
+        .unwrap();
+        let back = SessionRecord::from_bytes(&record.to_bytes().unwrap()).unwrap();
+        assert!(matches!(back.verify().unwrap(), ReplayVerdict::Pass { .. }));
+    }
+
+    #[test]
+    fn fleet_indices_and_durations_are_validated() {
+        let out_of_range = RecordedSession::Fleet {
+            users: 4,
+            seed: 1,
+            index: 4,
+            mean_duration_s: 30.0,
+        };
+        assert!(matches!(
+            out_of_range.generate(),
+            Err(SessionRecordError::Scenario(_))
+        ));
+        let bad_duration = RecordedSession::Fleet {
+            users: 4,
+            seed: 1,
+            index: 0,
+            mean_duration_s: f64::NAN,
+        };
+        assert!(bad_duration.generate().is_err());
+    }
+
+    #[test]
     fn labels_are_stable() {
         assert_eq!(RecordedSession::TableV { id: 3 }.label(), "tablev3");
         assert_eq!(
@@ -770,6 +855,16 @@ mod tests {
             }
             .label(),
             "commute-180s-seed2"
+        );
+        assert_eq!(
+            RecordedSession::Fleet {
+                users: 100,
+                seed: 7,
+                index: 42,
+                mean_duration_s: 120.0
+            }
+            .label(),
+            "fleet7-120s-u42"
         );
         let s = RecordScenario {
             session: RecordedSession::TableV { id: 1 },

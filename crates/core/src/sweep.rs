@@ -44,6 +44,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::approach::Approach;
 use crate::metrics::{ComparisonSummary, TraceComparison};
+use crate::pool;
+use crate::record::SessionRecord;
 use crate::runner::ExperimentRunner;
 
 /// Version stamp of the on-disk cache entry layout. Bumping it (or the
@@ -128,6 +130,10 @@ pub struct CacheStats {
     pub corrupt: u64,
     /// Failed attempts to persist a computed result.
     pub write_errors: u64,
+    /// Hits served from a recorded `.ecasr` reference instead of a
+    /// JSONL entry (every such hit is also counted in `hits`).
+    #[serde(default)]
+    pub from_record: u64,
 }
 
 impl CacheStats {
@@ -151,14 +157,17 @@ impl CacheStats {
         self.misses += other.misses;
         self.corrupt += other.corrupt;
         self.write_errors += other.write_errors;
+        self.from_record += other.from_record;
     }
 
     /// One-line render, used by the bench binaries' stderr reporting.
+    /// `from_record` stays last so the CI grep over the
+    /// `hits=/misses=/corrupt=` prefix keeps matching.
     #[must_use]
     pub fn render(&self) -> String {
         format!(
-            "cache: hits={} misses={} corrupt={} write_errors={}",
-            self.hits, self.misses, self.corrupt, self.write_errors
+            "cache: hits={} misses={} corrupt={} write_errors={} from_record={}",
+            self.hits, self.misses, self.corrupt, self.write_errors, self.from_record
         )
     }
 }
@@ -230,6 +239,8 @@ struct CachedEntry {
 
 enum Lookup {
     Hit(Box<CachedEntry>),
+    /// Served from a recorded `.ecasr` reference (no JSONL entry).
+    Record(Box<SessionResult>),
     Absent,
     Corrupt,
 }
@@ -419,6 +430,9 @@ impl SweepEngine {
                     }
                     self.note_corrupt();
                 }
+                // Records carry no probe stream, so `load` never
+                // returns one for an observed lookup.
+                Lookup::Record(_) => {}
                 Lookup::Corrupt => self.note_corrupt(),
                 Lookup::Absent => {}
             }
@@ -479,56 +493,16 @@ impl SweepEngine {
         results
     }
 
-    /// The shared worker pool: a next-index counter hands jobs to workers
-    /// as they free up; each result lands in its preassigned slot, so the
-    /// output order matches [`ExecPolicy::Sequential`] exactly.
+    /// The shared worker pool ([`crate::pool`]): a next-index counter
+    /// hands jobs to workers as they free up; each result lands in its
+    /// preassigned slot, so the output order matches
+    /// [`ExecPolicy::Sequential`] exactly.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panics.
     fn execute_parallel(&self, jobs: &[Job<'_>], requested: usize) -> Vec<SessionResult> {
-        if jobs.is_empty() {
-            return Vec::new();
-        }
-        let auto = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4);
-        let workers = if requested == 0 { auto } else { requested }.min(jobs.len());
-        if workers <= 1 {
-            return jobs.iter().map(|j| self.compute(j)).collect();
-        }
-        let results: Mutex<Vec<Option<SessionResult>>> = Mutex::new(vec![None; jobs.len()]);
-        let next: Mutex<usize> = Mutex::new(0);
-        crossbeam::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let idx = {
-                        let mut guard = next.lock();
-                        let idx = *guard;
-                        if idx >= jobs.len() {
-                            return;
-                        }
-                        *guard += 1;
-                        idx
-                    };
-                    let Some(job) = jobs.get(idx) else {
-                        return;
-                    };
-                    let result = self.compute(job);
-                    if let Some(cell) = results.lock().get_mut(idx) {
-                        *cell = Some(result);
-                    }
-                });
-            }
-        })
-        // ecas-lint: allow(panic-safety, reason = "a worker panic must propagate to the caller, not be swallowed into a partial grid")
-        .expect("sweep worker panicked");
-        results
-            .into_inner()
-            .into_iter()
-            // ecas-lint: allow(panic-safety, reason = "the job queue assigns every slot index exactly once; an empty slot is a scheduler bug worth crashing on")
-            .map(|r| r.expect("every sweep job filled its slot"))
-            .collect()
+        pool::run_ordered(jobs, requested, |job| self.compute(job))
     }
 
     fn execute_cached(&self, jobs: &[Job<'_>], dir: &Path, inner: &ExecPolicy) -> Vec<SessionResult> {
@@ -553,6 +527,10 @@ impl SweepEngine {
                     Lookup::Hit(entry) => {
                         self.note_hit();
                         Some(entry.result)
+                    }
+                    Lookup::Record(result) => {
+                        self.note_record_hit();
+                        Some(*result)
                     }
                     Lookup::Absent => None,
                     Lookup::Corrupt => {
@@ -653,11 +631,42 @@ impl SweepEngine {
     fn load(&self, dir: &Path, key: &str, job: &Job<'_>, observed: bool) -> Lookup {
         let text = match fs::read_to_string(entry_path(dir, key)) {
             Ok(text) => text,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Absent,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // No JSONL entry. A recorded `.ecasr` reference can stand
+                // in for an unobserved cell; observed pairs need the probe
+                // stream that records do not carry.
+                if observed {
+                    return Lookup::Absent;
+                }
+                return self.load_record(dir, key);
+            }
             Err(_) => return Lookup::Corrupt,
         };
         parse_entry(&text, key, job, observed)
             .map_or(Lookup::Corrupt, |entry| Lookup::Hit(Box::new(entry)))
+    }
+
+    /// Attempts to serve a cell from a recorded `.ecasr` reference in the
+    /// cache directory. Records are never trusted: the container's own
+    /// content hash is checked by [`SessionRecord::from_bytes`], and the
+    /// cache key recomputed from the decoded record (via
+    /// [`record_cell_key`], which hashes the record's *own* crate version
+    /// and scenario) must equal the requested key — a stale or renamed
+    /// record hashes to a different key and is reported corrupt, which
+    /// the caller turns into a miss + recompute.
+    fn load_record(&self, dir: &Path, key: &str) -> Lookup {
+        let bytes = match fs::read(record_path(dir, key)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Absent,
+            Err(_) => return Lookup::Corrupt,
+        };
+        let Ok(record) = SessionRecord::from_bytes(&bytes) else {
+            return Lookup::Corrupt;
+        };
+        if record_cell_key(&record) != key {
+            return Lookup::Corrupt;
+        }
+        Lookup::Record(Box::new(record.reference))
     }
 
     /// Writes an entry via a temp file + rename so a concurrent reader
@@ -714,6 +723,17 @@ impl SweepEngine {
         self.bump(names::SWEEP_CACHE_HIT);
     }
 
+    /// A hit served from a recorded reference counts as a regular hit
+    /// too, so `all_hits()` keeps meaning "zero simulator runs".
+    fn note_record_hit(&self) {
+        let mut stats = self.stats.lock();
+        stats.hits += 1;
+        stats.from_record += 1;
+        drop(stats);
+        self.bump(names::SWEEP_CACHE_HIT);
+        self.bump(names::SWEEP_CACHE_FROM_RECORD);
+    }
+
     fn note_miss(&self) {
         self.stats.lock().misses += 1;
         self.bump(names::SWEEP_CACHE_MISS);
@@ -738,6 +758,35 @@ impl SweepEngine {
 
 fn entry_path(dir: &Path, key: &str) -> PathBuf {
     dir.join(format!("{key}.jsonl"))
+}
+
+/// Where a recorded reference for `key` lives inside a cache or corpus
+/// directory: `<key>.ecasr`.
+pub(crate) fn record_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.{}", ecas_trace::record::RECORD_EXTENSION))
+}
+
+/// The sweep cache key a record answers for: the same [`CellKey`] an
+/// engine built from the record's scenario would compute for the
+/// unobserved cell, derived entirely from the record itself.
+///
+/// Deliberately hashes the record's *own* `crate_version` — not this
+/// build's — so a record produced by an older crate hashes to a key
+/// nobody asks for instead of masquerading as current.
+pub(crate) fn record_cell_key(record: &SessionRecord) -> String {
+    let runner = record.scenario.runner();
+    let key = CellKey {
+        format: CACHE_FORMAT,
+        crate_version: record.crate_version.clone(),
+        eta: record.scenario.eta,
+        config_hash: format!("{:016x}", stable_hash(runner.simulator().config())),
+        ladder_mbps: record.ladder_mbps.clone(),
+        fault: record.scenario.fault,
+        controller: record.scenario.approach.label().to_string(),
+        session: format!("{:016x}", record.trace_hash),
+        observed: false,
+    };
+    format!("{:016x}", stable_hash(&key))
 }
 
 fn to_json<T: Serialize>(value: &T) -> io::Result<String> {
@@ -905,7 +954,7 @@ mod tests {
             scope.spawn(|| {
                 for _ in 0..400 {
                     match engine.load(&dir, &key, &job, false) {
-                        Lookup::Hit(_) | Lookup::Absent => {}
+                        Lookup::Hit(_) | Lookup::Record(_) | Lookup::Absent => {}
                         Lookup::Corrupt => panic!("reader observed a torn cache entry"),
                     }
                 }
@@ -925,6 +974,106 @@ mod tests {
             .collect();
         assert!(litter.is_empty(), "temp litter left behind: {litter:?}");
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recorded_references_serve_unobserved_cells() {
+        use crate::record::{RecordScenario, RecordedSession, SessionRecord};
+
+        let dir = temp_dir("from-record");
+        fs::create_dir_all(&dir).unwrap();
+        let scenario = RecordScenario {
+            session: RecordedSession::Synthetic {
+                context: Context::Walking,
+                seconds: 40.0,
+                seed: 5,
+            },
+            approach: Approach::Ours,
+            eta: 0.5,
+            fault: None,
+        };
+        let record = SessionRecord::record(scenario).unwrap();
+        let key = record_cell_key(&record);
+        record.save(record_path(&dir, &key)).unwrap();
+
+        // The record regenerates the same trace the sweep test fixture
+        // uses, so its key matches the engine's own — the corpus file
+        // alone warms the cell.
+        let sessions = vec![record.regenerate_trace().unwrap()];
+        let policy = ExecPolicy::cached(&dir, ExecPolicy::Sequential);
+        let engine = SweepEngine::new(ExperimentRunner::paper());
+        let served = engine.run_grid(&sessions, &[Approach::Ours], &policy);
+        let stats = engine.stats();
+        assert!(stats.all_hits(), "{stats:?}");
+        assert_eq!(stats.from_record, 1);
+        assert_eq!(served, vec![record.reference.clone()]);
+        assert!(
+            !entry_path(&dir, &key).exists(),
+            "a record hit must not rewrite a JSONL entry"
+        );
+
+        // Observed lookups must never be served from a record.
+        assert!(matches!(
+            engine.load(&dir, &key, &Job {
+                session: &sessions[0],
+                cell: Cell::Approach(Approach::Ours),
+            }, true),
+            Lookup::Absent
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_or_stale_records_degrade_to_recompute() {
+        use crate::record::{RecordScenario, RecordedSession, SessionRecord};
+
+        let dir = temp_dir("record-corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let scenario = RecordScenario {
+            session: RecordedSession::Synthetic {
+                context: Context::Walking,
+                seconds: 40.0,
+                seed: 5,
+            },
+            approach: Approach::Ours,
+            eta: 0.5,
+            fault: None,
+        };
+        let record = SessionRecord::record(scenario).unwrap();
+        let key = record_cell_key(&record);
+        // Truncated container bytes under the right name.
+        fs::write(record_path(&dir, &key), b"ECASR garbage").unwrap();
+
+        let sessions = vec![record.regenerate_trace().unwrap()];
+        let policy = ExecPolicy::cached(&dir, ExecPolicy::Sequential);
+        let engine = SweepEngine::new(ExperimentRunner::paper());
+        let computed = engine.run_grid(&sessions, &[Approach::Ours], &policy);
+        let stats = engine.stats();
+        assert_eq!(stats.corrupt, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.from_record, 0);
+        assert_eq!(computed, vec![record.reference.clone()]);
+        // The recompute repaired a JSONL entry that serves the next run.
+        let warm = SweepEngine::new(ExperimentRunner::paper());
+        assert_eq!(warm.run_grid(&sessions, &[Approach::Ours], &policy), computed);
+        assert!(warm.stats().all_hits());
+        assert_eq!(warm.stats().from_record, 0);
+
+        // A valid record renamed under a foreign key is rejected too.
+        let stale_dir = temp_dir("record-stale");
+        fs::create_dir_all(&stale_dir).unwrap();
+        let mut stale = record.clone();
+        stale.crate_version = "0.0.0-stale".to_string();
+        assert_ne!(record_cell_key(&stale), key, "version must key");
+        stale.save(record_path(&stale_dir, &key)).unwrap();
+        let stale_engine = SweepEngine::new(ExperimentRunner::paper());
+        let stale_policy = ExecPolicy::cached(&stale_dir, ExecPolicy::Sequential);
+        let results = stale_engine.run_grid(&sessions, &[Approach::Ours], &stale_policy);
+        assert_eq!(results, computed);
+        assert_eq!(stale_engine.stats().corrupt, 1);
+        assert_eq!(stale_engine.stats().from_record, 0);
+        fs::remove_dir_all(&dir).ok();
+        fs::remove_dir_all(&stale_dir).ok();
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub const SWEEP_CACHE_CORRUPT: &str = "sweep/cache_corrupt";
 /// A computed result could not be persisted to the cache (store
 /// failures degrade to recomputation and are never fatal).
 pub const SWEEP_CACHE_WRITE_ERROR: &str = "sweep/cache_write_error";
+/// A grid cell was served from a recorded `.ecasr` reference in the
+/// cache directory (counted on top of `sweep/cache_hit`).
+pub const SWEEP_CACHE_FROM_RECORD: &str = "sweep/cache_from_record";
 /// Wall-clock span around one sweep grid execution.
 pub const SWEEP_EXECUTE_SPAN: &str = "sweep/execute";
 /// Simulated session-seconds computed per core-second of wall clock
@@ -171,6 +174,7 @@ pub const ALL: &[&str] = &[
     SWEEP_CACHE_MISS,
     SWEEP_CACHE_CORRUPT,
     SWEEP_CACHE_WRITE_ERROR,
+    SWEEP_CACHE_FROM_RECORD,
     SWEEP_EXECUTE_SPAN,
     PERF_SWEEP_SESS_S_PER_CORE_S,
     FLEET_USERS,

@@ -58,6 +58,11 @@ pub const RECORD_MAGIC: &[u8; 5] = b"ECASR";
 // ecas-lint: allow(pub-surface, reason = "wire-format contract documented in DESIGN.md section 13")
 pub const RECORD_VERSION: u16 = 1;
 
+/// Canonical file extension for ECASR containers (no leading dot).
+/// Corpus directories are scanned for `*.ecasr` by this constant, so
+/// writers and scanners cannot drift apart.
+pub const RECORD_EXTENSION: &str = "ecasr";
+
 /// Byte length of the fixed header (magic + version + content hash).
 // ecas-lint: allow(pub-surface, reason = "wire-format contract documented in DESIGN.md section 13")
 pub const RECORD_HEADER_LEN: usize = 5 + 2 + 8;

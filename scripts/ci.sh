@@ -123,6 +123,28 @@ if ! grep -Eq 'users=100000 ' "$obs_dir/fleet_1.txt"; then
     exit 1
 fi
 
+echo "==> smoke: record corpus (batch-record + order-stable verify + self-diff)"
+corpus_dir="$obs_dir/corpus"
+./target/release/session batch-record --users 6 --seed 7 --duration 20 --batch 4 "$corpus_dir" >/dev/null
+./target/release/session verify --jobs 4 "$corpus_dir" > "$obs_dir/corpus_par.txt"
+./target/release/session verify --jobs 1 "$corpus_dir" > "$obs_dir/corpus_seq.txt"
+if ! cmp -s "$obs_dir/corpus_par.txt" "$obs_dir/corpus_seq.txt"; then
+    echo "parallel corpus verify differs from sequential (--jobs 1)" >&2
+    diff "$obs_dir/corpus_par.txt" "$obs_dir/corpus_seq.txt" >&2 || true
+    exit 1
+fi
+if ! grep -q 'records=6 failures=0' "$obs_dir/corpus_par.txt"; then
+    echo "corpus verify did not pass all 6 recorded sessions" >&2
+    cat "$obs_dir/corpus_par.txt" >&2
+    exit 1
+fi
+./target/release/session diff "$corpus_dir" "$corpus_dir" > "$obs_dir/corpus_diff.txt"
+if ! grep -q 'matched=6 diverged=0 only_a=0 only_b=0' "$obs_dir/corpus_diff.txt"; then
+    echo "corpus self-diff reported divergences" >&2
+    cat "$obs_dir/corpus_diff.txt" >&2
+    exit 1
+fi
+
 echo "==> smoke: hot-path perf gate (work-counter determinism + collapse check)"
 scripts/bench.sh
 

@@ -4,12 +4,15 @@
 #   scripts/golden.sh            verify the committed corpus (CI gate)
 #   scripts/golden.sh --update   regenerate every fixture in place
 #
-# Verification is three blocking checks:
-#   1. every committed record replays through the oracle and matches its
+# Verification is four blocking checks:
+#   1. the golden/ directory listing matches the fixtures() table
+#      exactly — no orphan directories, no missing fixtures (a glob
+#      alone would silently pass over a deleted or extra fixture);
+#   2. every committed record replays through the oracle and matches its
 #      stored reference (`session verify`, failures=0);
-#   2. one fixture re-recorded from its own scenario header is
+#   3. one fixture re-recorded from its own scenario header is
 #      byte-identical to the committed .ecasr;
-#   3. the rendered report and manifest of every fixture match the
+#   4. the rendered report and manifest of every fixture match the
 #      committed report.txt / manifest.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,6 +47,20 @@ if [[ "${1:-}" == "--update" ]]; then
     echo "golden corpus regenerated"
     exit 0
 fi
+
+echo "== golden: directory listing matches the fixture table =="
+expected="$(fixtures | cut -d'|' -f1 | sort)"
+actual="$(find golden -mindepth 1 -maxdepth 1 -type d | sed 's|^golden/||' | sort)"
+if ! diff <(echo "$expected") <(echo "$actual") >&2; then
+    echo "golden/ directories do not match fixtures() (see diff above)" >&2
+    exit 1
+fi
+while IFS='|' read -r name _; do
+    if [[ ! -f "golden/$name/record.ecasr" ]]; then
+        echo "golden/$name/record.ecasr is missing" >&2
+        exit 1
+    fi
+done < <(fixtures)
 
 echo "== golden: replay every committed record =="
 "$SESSION" verify golden/*/record.ecasr
